@@ -1,0 +1,72 @@
+//! Scoring-pipeline benchmarks: profiling (the substitute for the
+//! paper's instrumented runs), profile aggregation, and the full
+//! weight-matching evaluation of §3. These bound the cost of
+//! regenerating the paper's figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estimators::eval;
+use profiler::RunConfig;
+use std::hint::black_box;
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiling");
+    group.sample_size(10);
+    for name in ["compress", "cc", "gs"] {
+        let bench = suite::by_name(name).unwrap();
+        let program = bench.compile().unwrap();
+        let input = bench.inputs().into_iter().next().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("run_one_input", name),
+            &(&program, &input),
+            |b, (p, input)| {
+                b.iter(|| {
+                    black_box(
+                        profiler::run(p, &RunConfig::with_input((*input).clone())).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring");
+    group.sample_size(10);
+    for name in ["cc", "sc"] {
+        let bench = suite::by_name(name).unwrap();
+        let program = bench.compile().unwrap();
+        let profiles = bench.profiles(&program).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("score_program", name),
+            &(&program, &profiles),
+            |b, (p, profiles)| b.iter(|| black_box(eval::score_program(p, profiles))),
+        );
+        let refs: Vec<&profiler::Profile> = profiles.iter().collect();
+        group.bench_with_input(
+            BenchmarkId::new("aggregate_profiles", name),
+            &refs,
+            |b, refs| b.iter(|| black_box(profiler::aggregate(refs))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_metric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric");
+    for n in [10usize, 100, 1000] {
+        let actual: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64).collect();
+        let est: Vec<f64> = (0..n).map(|i| ((i * 53) % 97) as f64).collect();
+        group.bench_with_input(
+            BenchmarkId::new("weight_matching", n),
+            &(est, actual),
+            |b, (est, actual)| {
+                b.iter(|| black_box(estimators::weight_matching(est, actual, 0.25)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling, bench_scoring, bench_metric);
+criterion_main!(benches);

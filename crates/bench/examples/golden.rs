@@ -1,0 +1,9 @@
+//! Dev utility: print first-input stdout of every suite program as Rust literals.
+fn main() {
+    for bp in suite::all() {
+        let program = bp.compile().unwrap();
+        let input = bp.inputs().into_iter().next().unwrap();
+        let out = profiler::run(&program, &profiler::RunConfig::with_input(input)).unwrap();
+        println!("        (\"{}\", {:?}),", bp.name, out.stdout());
+    }
+}

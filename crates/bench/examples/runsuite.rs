@@ -1,0 +1,24 @@
+//! Dev utility: run the whole suite, reporting steps and exit codes.
+fn main() {
+    for bp in suite::all() {
+        let program = match bp.compile() {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{:10} COMPILE ERROR: {}", bp.name, e.render(bp.source));
+                continue;
+            }
+        };
+        let t0 = std::time::Instant::now();
+        match bp.run_all(&program) {
+            Ok(outs) => {
+                let steps: u64 = outs.iter().map(|o| o.steps).sum();
+                let codes: Vec<i64> = outs.iter().map(|o| o.exit_code).collect();
+                println!(
+                    "{:10} ok  inputs={} steps={:>10} exits={:?} time={:?}",
+                    bp.name, outs.len(), steps, codes, t0.elapsed()
+                );
+            }
+            Err(e) => println!("{:10} RUNTIME ERROR: {e}", bp.name),
+        }
+    }
+}

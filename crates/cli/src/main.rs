@@ -1,0 +1,260 @@
+//! `sfe` — static frequency estimation for MiniC programs.
+//!
+//! The command-line face of the PLDI 1994 reproduction: point it at a
+//! MiniC source file and it reports, *without running the program*,
+//! which blocks, functions, and call sites are likely hot — optionally
+//! validating the estimates against a real profiled run.
+//!
+//! ```text
+//! sfe report    prog.c            # hot functions + call sites (static)
+//! sfe blocks    prog.c [func]     # per-block estimates (loop/smart/markov)
+//! sfe branches  prog.c            # per-branch predictions + heuristics
+//! sfe callsites prog.c            # ranked call sites (inlining candidates)
+//! sfe dot       prog.c [func]     # Graphviz CFG (or call graph)
+//! sfe run       prog.c [input]    # run, then compare estimate vs. profile
+//! sfe pretty    prog.c            # parse + pretty-print
+//! ```
+
+#![warn(missing_docs)]
+
+use estimators::{callsite, inter, intra, predict_module, weight_matching};
+use flowgraph::Program;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: sfe <report|blocks|branches|callsites|dot|run|pretty> <file.c> [arg]");
+        return ExitCode::from(2);
+    }
+    let command = args[0].as_str();
+    let path = &args[1];
+    let extra = args.get(2).map(String::as_str);
+
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sfe: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if command == "pretty" {
+        return pretty(&src);
+    }
+    let module = match minic::compile(&src) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("sfe: {}", e.render(&src));
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = flowgraph::build_program(&module);
+
+    match command {
+        "report" => report(&program),
+        "blocks" => blocks(&program, extra),
+        "branches" => branches(&program, &src),
+        "callsites" => callsites(&program, &src),
+        "dot" => dot(&program, extra),
+        "run" => run(&program, extra),
+        other => {
+            eprintln!("sfe: unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn pretty(src: &str) -> ExitCode {
+    match minic::parser::parse(src) {
+        Ok(unit) => {
+            print!("{}", minic::pretty::print_unit(&unit));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sfe: {}", e.render(src));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn report(program: &Program) -> ExitCode {
+    let ia = intra::estimate_program(program, intra::IntraEstimator::Smart);
+    let ie = inter::estimate_invocations(program, &ia, inter::InterEstimator::Markov);
+
+    println!("== estimated function invocation counts (Markov call-graph model) ==");
+    let mut funcs = program.defined_ids();
+    funcs.sort_by(|&a, &b| ie.of(b).partial_cmp(&ie.of(a)).unwrap());
+    for f in &funcs {
+        let func = program.module.function(*f);
+        println!(
+            "{:>12.2}  {} ({} blocks)",
+            ie.of(*f),
+            func.name,
+            program.cfg(*f).len()
+        );
+    }
+
+    println!("\n== hottest call sites (invocation × local frequency) ==");
+    let mut sites = callsite::estimate_sites(program, &ia, &ie);
+    sites.sort_by(|a, b| b.freq.partial_cmp(&a.freq).unwrap());
+    for s in sites.iter().take(10) {
+        let cs = &program.module.side.call_sites[s.site.0 as usize];
+        let caller = &program.module.function(cs.caller).name;
+        let callee = match cs.callee {
+            minic::sema::CalleeKind::Direct(f) => program.module.function(f).name.clone(),
+            _ => "<indirect>".into(),
+        };
+        println!("{:>12.2}  {caller} -> {callee}", s.freq);
+    }
+    ExitCode::SUCCESS
+}
+
+fn blocks(program: &Program, func: Option<&str>) -> ExitCode {
+    let loop_est = intra::estimate_program(program, intra::IntraEstimator::Loop);
+    let smart = intra::estimate_program(program, intra::IntraEstimator::Smart);
+    let markov = intra::estimate_program(program, intra::IntraEstimator::Markov);
+    for f in program.defined_ids() {
+        let name = &program.module.function(f).name;
+        if let Some(want) = func {
+            if name != want {
+                continue;
+            }
+        }
+        println!("== {name} ==");
+        println!("{:>6} {:>10} {:>10} {:>10}", "block", "loop", "smart", "markov");
+        for b in 0..program.cfg(f).len() {
+            println!(
+                "{:>6} {:>10.3} {:>10.3} {:>10.3}",
+                format!("B{b}"),
+                loop_est.blocks_of(f)[b],
+                smart.blocks_of(f)[b],
+                markov.blocks_of(f)[b]
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn branches(program: &Program, src: &str) -> ExitCode {
+    let preds = predict_module(&program.module);
+    println!(
+        "{:>6} {:<10} {:>6} {:>6} {:<10}",
+        "line", "context", "dir", "p", "heuristic"
+    );
+    for b in &program.module.side.branches {
+        let pred = preds[&b.id];
+        let func = &program.module.function(b.func).name;
+        let context = format!("{:?}", b.kind).to_lowercase();
+        let heuristic = format!("{:?}", pred.heuristic);
+        println!(
+            "{:>6} {context:<10} {:>6} {:>6.2} {heuristic:<10}  ({func})",
+            span_line(program, b, src),
+            if pred.taken { "T" } else { "F" },
+            pred.prob_taken,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn span_line(program: &Program, b: &minic::sema::Branch, src: &str) -> usize {
+    // The condition expression's span is not stored on Branch; find it
+    // by walking the owning function for the node.
+    let mut line = 0;
+    if let Some(body) = &program.module.function(b.func).body {
+        body.walk_exprs(&mut |e| {
+            if e.id == b.cond {
+                line = e.span.line(src);
+            }
+        });
+    }
+    line
+}
+
+fn callsites(program: &Program, src: &str) -> ExitCode {
+    let ia = intra::estimate_program(program, intra::IntraEstimator::Smart);
+    let ie = inter::estimate_invocations(program, &ia, inter::InterEstimator::Markov);
+    let mut sites = callsite::estimate_sites(program, &ia, &ie);
+    sites.sort_by(|a, b| b.freq.partial_cmp(&a.freq).unwrap());
+    println!("{:>12} {:>6}  call", "est.freq", "line");
+    for s in &sites {
+        let cs = &program.module.side.call_sites[s.site.0 as usize];
+        let caller = &program.module.function(cs.caller).name;
+        let callee = match cs.callee {
+            minic::sema::CalleeKind::Direct(f) => program.module.function(f).name.clone(),
+            _ => continue,
+        };
+        println!(
+            "{:>12.2} {:>6}  {caller} -> {callee}",
+            s.freq,
+            cs.span.line(src)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn dot(program: &Program, func: Option<&str>) -> ExitCode {
+    match func {
+        Some(name) => {
+            let Some(f) = program.function_id(name) else {
+                eprintln!("sfe: no function `{name}`");
+                return ExitCode::FAILURE;
+            };
+            let est = intra::estimate_function(program, f, intra::IntraEstimator::Markov);
+            print!(
+                "{}",
+                flowgraph::dot::cfg_to_dot(&program.module, program.cfg(f), Some(&est))
+            );
+        }
+        None => print!(
+            "{}",
+            flowgraph::dot::callgraph_to_dot(&program.module, &program.callgraph)
+        ),
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(program: &Program, input_path: Option<&str>) -> ExitCode {
+    let input = match input_path {
+        Some(p) => match std::fs::read(p) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("sfe: cannot read input {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Vec::new(),
+    };
+    let out = match profiler::run(program, &profiler::RunConfig::with_input(input)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sfe: runtime error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", out.stdout());
+    eprintln!("[exit {} after {} steps]", out.exit_code, out.steps);
+
+    // Estimate-vs-actual summary.
+    let ia = intra::estimate_program(program, intra::IntraEstimator::Smart);
+    let ie = inter::estimate_invocations(program, &ia, inter::InterEstimator::Markov);
+    let funcs = program.defined_ids();
+    let est: Vec<f64> = funcs.iter().map(|&f| ie.of(f)).collect();
+    let actual: Vec<f64> = funcs
+        .iter()
+        .map(|&f| out.profile.calls_of(f) as f64)
+        .collect();
+    let score = weight_matching(&est, &actual, 0.25);
+    eprintln!(
+        "[function-invocation weight-matching vs this run @25%: {:.0}%]",
+        score * 100.0
+    );
+    for (i, &f) in funcs.iter().enumerate() {
+        eprintln!(
+            "[{:>10.2} est | {:>10} actual]  {}",
+            est[i],
+            actual[i],
+            program.module.function(f).name
+        );
+    }
+    ExitCode::SUCCESS
+}

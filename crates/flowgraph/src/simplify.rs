@@ -1,0 +1,161 @@
+//! CFG clean-up after lowering.
+//!
+//! Three passes run to a fixpoint:
+//!
+//! 1. **Jump threading** — edges into empty `Goto`-only blocks are
+//!    redirected to their final target.
+//! 2. **Unreachable-block removal** — anything not reachable from the
+//!    entry disappears (e.g. the exit of a `while (1)` loop, or code
+//!    after `return`).
+//! 3. **Chain merging** — a block whose only successor has it as its
+//!    only predecessor absorbs that successor, producing *maximal*
+//!    basic blocks like the paper's gcc-derived CFGs.
+
+use crate::cfg::{Block, BlockId, Cfg, Terminator};
+
+/// Simplifies `cfg`, preserving semantics and anchors.
+pub fn simplify(mut cfg: Cfg) -> Cfg {
+    loop {
+        let before = cfg.blocks.len();
+        thread_jumps(&mut cfg);
+        cfg = remove_unreachable(cfg);
+        cfg = merge_chains(cfg);
+        if cfg.blocks.len() == before {
+            return cfg;
+        }
+    }
+}
+
+/// Follows chains of empty `Goto` blocks to their final target.
+fn final_target(cfg: &Cfg, mut b: BlockId) -> BlockId {
+    let mut hops = 0;
+    loop {
+        let blk = cfg.block(b);
+        if !blk.instrs.is_empty() {
+            return b;
+        }
+        match blk.term {
+            Terminator::Goto(t) if t != b => {
+                b = t;
+                hops += 1;
+                // Guard against Goto cycles of empty blocks.
+                if hops > cfg.blocks.len() {
+                    return b;
+                }
+            }
+            _ => return b,
+        }
+    }
+}
+
+fn thread_jumps(cfg: &mut Cfg) {
+    let n = cfg.blocks.len();
+    let mut target = Vec::with_capacity(n);
+    for i in 0..n {
+        target.push(final_target(cfg, BlockId(i as u32)));
+    }
+    cfg.entry = target[cfg.entry.0 as usize];
+    for b in &mut cfg.blocks {
+        match &mut b.term {
+            Terminator::Goto(t) => *t = target[t.0 as usize],
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => {
+                *then_blk = target[then_blk.0 as usize];
+                *else_blk = target[else_blk.0 as usize];
+            }
+            Terminator::Switch { cases, default, .. } => {
+                for (_, t) in cases.iter_mut() {
+                    *t = target[t.0 as usize];
+                }
+                *default = target[default.0 as usize];
+            }
+            Terminator::Return(_) => {}
+        }
+    }
+}
+
+fn remove_unreachable(cfg: Cfg) -> Cfg {
+    let n = cfg.blocks.len();
+    let mut reachable = vec![false; n];
+    let mut stack = vec![cfg.entry];
+    reachable[cfg.entry.0 as usize] = true;
+    while let Some(b) = stack.pop() {
+        for s in cfg.successors(b) {
+            if !reachable[s.0 as usize] {
+                reachable[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let mut remap = vec![BlockId(u32::MAX); n];
+    let mut kept = Vec::new();
+    for (i, r) in reachable.iter().enumerate() {
+        if *r {
+            remap[i] = BlockId(kept.len() as u32);
+            kept.push(i);
+        }
+    }
+    let map = |b: BlockId| remap[b.0 as usize];
+    let mut blocks: Vec<Block> = Vec::with_capacity(kept.len());
+    for &i in &kept {
+        let mut b = cfg.blocks[i].clone();
+        b.id = map(BlockId(i as u32));
+        match &mut b.term {
+            Terminator::Goto(t) => *t = map(*t),
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => {
+                *then_blk = map(*then_blk);
+                *else_blk = map(*else_blk);
+            }
+            Terminator::Switch { cases, default, .. } => {
+                for (_, t) in cases.iter_mut() {
+                    *t = map(*t);
+                }
+                *default = map(*default);
+            }
+            Terminator::Return(_) => {}
+        }
+        blocks.push(b);
+    }
+    Cfg {
+        func: cfg.func,
+        blocks,
+        entry: map(cfg.entry),
+    }
+}
+
+fn merge_chains(mut cfg: Cfg) -> Cfg {
+    loop {
+        let preds = cfg.predecessors();
+        let mut merged = false;
+        for i in 0..cfg.blocks.len() {
+            let b = BlockId(i as u32);
+            let Terminator::Goto(t) = cfg.blocks[i].term else {
+                continue;
+            };
+            if t == b || t == cfg.entry {
+                continue;
+            }
+            if preds[t.0 as usize].len() != 1 {
+                continue;
+            }
+            // Absorb t into b. Afterwards t is unreachable and is
+            // dropped by remove_unreachable below.
+            let tail = cfg.blocks[t.0 as usize].clone();
+            let head = &mut cfg.blocks[i];
+            head.instrs.extend(tail.instrs);
+            head.term = tail.term;
+            if head.anchor.is_none() {
+                head.anchor = tail.anchor;
+            }
+            merged = true;
+            break;
+        }
+        if !merged {
+            return cfg;
+        }
+        cfg = remove_unreachable(cfg);
+    }
+}

@@ -1,0 +1,507 @@
+//! The MiniC abstract syntax tree.
+//!
+//! Every expression and statement carries a [`NodeId`] assigned during
+//! parsing. Semantic analysis attaches information (types, resolutions,
+//! call-site and branch ids) to nodes via side tables keyed by `NodeId`,
+//! so the tree itself stays immutable and cheap to clone into CFG blocks.
+
+use crate::token::Span;
+use std::fmt;
+
+/// A unique id for an AST node within one translation unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Hands out fresh [`NodeId`]s.
+#[derive(Debug, Default)]
+pub struct NodeIdGen {
+    next: u32,
+}
+
+impl NodeIdGen {
+    /// Creates a generator starting at zero.
+    pub fn new() -> Self {
+        NodeIdGen::default()
+    }
+
+    /// Returns a fresh id.
+    pub fn fresh(&mut self) -> NodeId {
+        let id = NodeId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// Number of ids handed out so far (== one past the largest).
+    pub fn count(&self) -> usize {
+        self.next as usize
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `*p`
+    Deref,
+    /// `&x`
+    Addr,
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+    /// `x++`
+    PostInc,
+    /// `x--`
+    PostDec,
+}
+
+/// Binary operators (excluding assignment and short-circuit forms, which
+/// have their own expression kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl BinOp {
+    /// Returns `true` for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+}
+
+/// Base (non-derived) syntactic types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    /// `void`
+    Void,
+    /// `int`, `long`, `unsigned` — all map to a 64-bit integer.
+    Int,
+    /// `char`
+    Char,
+    /// `float` / `double` — both map to `f64`.
+    Float,
+    /// `struct Name`
+    Struct(String),
+}
+
+/// A syntactic type, prior to resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeName {
+    /// A base type.
+    Base(BaseType),
+    /// Pointer to a type.
+    Ptr(Box<TypeName>),
+    /// Array of a type; the length expression is folded during sema.
+    /// `None` means unsized (`[]`), legal for parameters and
+    /// initializer-sized globals.
+    Array(Box<TypeName>, Option<Box<Expr>>),
+    /// Pointer to function: return type and parameter types.
+    FnPtr(Box<TypeName>, Vec<TypeName>),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique node id (side-table key).
+    pub id: NodeId,
+    /// Source location.
+    pub span: Span,
+    /// The expression itself.
+    pub kind: ExprKind,
+}
+
+/// The expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer (or char) literal.
+    IntLit(i64),
+    /// Floating literal.
+    FloatLit(f64),
+    /// String literal.
+    StrLit(String),
+    /// A name: variable, function, or builtin.
+    Ident(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit `&&`.
+    LogAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `||`.
+    LogOr(Box<Expr>, Box<Expr>),
+    /// Assignment; `op` is `Some` for compound forms like `+=`.
+    Assign(Option<BinOp>, Box<Expr>, Box<Expr>),
+    /// Function call (callee may be a name or an arbitrary expression).
+    Call(Box<Expr>, Vec<Expr>),
+    /// Array indexing `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Member access `s.f` (arrow = `false`) or `p->f` (arrow = `true`).
+    Member(Box<Expr>, String, bool),
+    /// Conditional `c ? t : e`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Cast `(T)e`.
+    Cast(TypeName, Box<Expr>),
+    /// `sizeof(T)`.
+    SizeofType(TypeName),
+    /// `sizeof expr`.
+    SizeofExpr(Box<Expr>),
+    /// Comma expression `a, b`.
+    Comma(Box<Expr>, Box<Expr>),
+}
+
+/// A single declared local or global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Node id of the declaration itself.
+    pub id: NodeId,
+    /// Source location.
+    pub span: Span,
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeName,
+    /// Optional initializer.
+    pub init: Option<Initializer>,
+}
+
+/// An initializer: a scalar expression or a brace-enclosed list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Initializer {
+    /// `= expr`
+    Expr(Expr),
+    /// `= { a, b, ... }` (possibly nested)
+    List(Vec<Initializer>),
+}
+
+/// One `case`/`default` section of a `switch` body. Execution falls
+/// through from one section to the next unless a `break` intervenes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchSection {
+    /// The `case` label expressions (folded to constants in sema);
+    /// empty labels plus `is_default` covers `default:`.
+    pub labels: Vec<Expr>,
+    /// Whether this section carries the `default:` label.
+    pub is_default: bool,
+    /// The statements in the section.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Unique node id (side-table key).
+    pub id: NodeId,
+    /// Source location.
+    pub span: Span,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+/// The statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declarations, e.g. `int x = 1, *p;`.
+    Decl(Vec<VarDecl>),
+    /// `if (cond) then [else els]`
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (cond) body`
+    While(Expr, Box<Stmt>),
+    /// `do body while (cond);`
+    DoWhile(Box<Stmt>, Expr),
+    /// `for (init; cond; step) body` — init may be a declaration.
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `switch (scrutinee) { sections }`
+    Switch(Expr, Vec<SwitchSection>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return [expr];`
+    Return(Option<Expr>),
+    /// `goto label;`
+    Goto(String),
+    /// `label: stmt`
+    Label(String, Box<Stmt>),
+    /// `{ stmts }`
+    Block(Vec<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Node id.
+    pub id: NodeId,
+    /// Parameter name (may be empty in prototypes).
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeName,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDecl {
+    /// Node id.
+    pub id: NodeId,
+    /// Struct tag.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(String, TypeName)>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An `enum` definition: named integer constants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDecl {
+    /// Node id.
+    pub id: NodeId,
+    /// Enum tag (may be empty for anonymous enums).
+    pub name: String,
+    /// Variants in declaration order, with optional explicit values.
+    pub variants: Vec<(String, Option<Expr>)>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// Node id.
+    pub id: NodeId,
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: TypeName,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// `None` for a prototype; `Some(block)` for a definition.
+    pub body: Option<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A struct definition.
+    Struct(StructDecl),
+    /// An enum definition.
+    Enum(EnumDecl),
+    /// One or more global variable declarations.
+    Globals(Vec<VarDecl>),
+    /// A function definition or prototype.
+    Function(FunctionDecl),
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// Total number of node ids allocated (side tables size to this).
+    pub node_count: usize,
+}
+
+impl Expr {
+    /// Visits this expression and all sub-expressions, pre-order.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match &self.kind {
+            ExprKind::IntLit(_)
+            | ExprKind::FloatLit(_)
+            | ExprKind::StrLit(_)
+            | ExprKind::Ident(_)
+            | ExprKind::SizeofType(_) => {}
+            ExprKind::Unary(_, e) | ExprKind::Cast(_, e) | ExprKind::SizeofExpr(e) => f2(e, f),
+            ExprKind::Binary(_, a, b)
+            | ExprKind::LogAnd(a, b)
+            | ExprKind::LogOr(a, b)
+            | ExprKind::Assign(_, a, b)
+            | ExprKind::Index(a, b)
+            | ExprKind::Comma(a, b) => {
+                f2(a, f);
+                f2(b, f);
+            }
+            ExprKind::Call(callee, args) => {
+                f2(callee, f);
+                for a in args {
+                    f2(a, f);
+                }
+            }
+            ExprKind::Member(e, _, _) => f2(e, f),
+            ExprKind::Cond(c, t, e) => {
+                f2(c, f);
+                f2(t, f);
+                f2(e, f);
+            }
+        }
+    }
+}
+
+fn f2<'a>(e: &'a Expr, f: &mut dyn FnMut(&'a Expr)) {
+    e.walk(f)
+}
+
+impl Stmt {
+    /// Visits this statement and all nested statements, pre-order.
+    /// Expressions are not visited; see [`Stmt::walk_exprs`].
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Stmt)) {
+        f(self);
+        match &self.kind {
+            StmtKind::If(_, t, e) => {
+                t.walk(f);
+                if let Some(e) = e {
+                    e.walk(f);
+                }
+            }
+            StmtKind::While(_, b) | StmtKind::DoWhile(b, _) | StmtKind::Label(_, b) => b.walk(f),
+            StmtKind::For(init, _, _, b) => {
+                if let Some(i) = init {
+                    i.walk(f);
+                }
+                b.walk(f);
+            }
+            StmtKind::Switch(_, sections) => {
+                for s in sections {
+                    for st in &s.body {
+                        st.walk(f);
+                    }
+                }
+            }
+            StmtKind::Block(stmts) => {
+                for s in stmts {
+                    s.walk(f);
+                }
+            }
+            StmtKind::Expr(_)
+            | StmtKind::Decl(_)
+            | StmtKind::Break
+            | StmtKind::Continue
+            | StmtKind::Return(_)
+            | StmtKind::Goto(_)
+            | StmtKind::Empty => {}
+        }
+    }
+
+    /// Visits every expression contained in this statement subtree
+    /// (conditions, initializers, and expression statements), pre-order.
+    pub fn walk_exprs<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        self.walk(&mut |s| match &s.kind {
+            StmtKind::Expr(e) => e.walk(f),
+            StmtKind::Decl(ds) => {
+                for d in ds {
+                    if let Some(init) = &d.init {
+                        walk_init(init, f);
+                    }
+                }
+            }
+            StmtKind::If(c, _, _) | StmtKind::While(c, _) | StmtKind::DoWhile(_, c) => c.walk(f),
+            StmtKind::For(_, cond, step, _) => {
+                // init statement is visited by `walk` itself.
+                if let Some(c) = cond {
+                    c.walk(f);
+                }
+                if let Some(s) = step {
+                    s.walk(f);
+                }
+            }
+            StmtKind::Switch(scrut, sections) => {
+                scrut.walk(f);
+                for sec in sections {
+                    for l in &sec.labels {
+                        l.walk(f);
+                    }
+                }
+            }
+            StmtKind::Return(Some(e)) => e.walk(f),
+            _ => {}
+        });
+    }
+}
+
+fn walk_init<'a>(init: &'a Initializer, f: &mut dyn FnMut(&'a Expr)) {
+    match init {
+        Initializer::Expr(e) => e.walk(f),
+        Initializer::List(items) => {
+            for i in items {
+                walk_init(i, f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(idgen: &mut NodeIdGen, v: i64) -> Expr {
+        Expr {
+            id: idgen.fresh(),
+            span: Span::default(),
+            kind: ExprKind::IntLit(v),
+        }
+    }
+
+    #[test]
+    fn walk_visits_all_subexpressions() {
+        let mut g = NodeIdGen::new();
+        let e = Expr {
+            id: g.fresh(),
+            span: Span::default(),
+            kind: ExprKind::Binary(BinOp::Add, Box::new(lit(&mut g, 1)), Box::new(lit(&mut g, 2))),
+        };
+        let mut n = 0;
+        e.walk(&mut |_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn node_id_gen_is_sequential() {
+        let mut g = NodeIdGen::new();
+        assert_eq!(g.fresh(), NodeId(0));
+        assert_eq!(g.fresh(), NodeId(1));
+        assert_eq!(g.count(), 2);
+    }
+
+    #[test]
+    fn binop_comparison_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+}

@@ -1,0 +1,185 @@
+//! Builtin (library) functions available to every MiniC program.
+//!
+//! These stand in for the C library plus a few I/O hooks the profiler's
+//! interpreter provides (`getchar` reads from a per-run input buffer,
+//! `printf` writes to a captured output buffer). `exit` and `abort` are
+//! significant to the estimators: the paper's *error heuristic* predicts
+//! that branch arms calling them are unlikely.
+
+use crate::types::Type;
+use std::fmt;
+
+/// The builtin functions of the MiniC runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Builtin {
+    Printf,
+    Sprintf,
+    Putchar,
+    Puts,
+    Getchar,
+    Malloc,
+    Calloc,
+    Free,
+    Memset,
+    Memcpy,
+    Strlen,
+    Strcpy,
+    Strncpy,
+    Strcmp,
+    Strncmp,
+    Strcat,
+    Atoi,
+    Abs,
+    Exit,
+    Abort,
+    Rand,
+    Srand,
+    Sqrt,
+    Fabs,
+    Sin,
+    Cos,
+    Exp,
+    Log,
+    Pow,
+    Floor,
+    Ceil,
+}
+
+impl Builtin {
+    /// Looks up a builtin by its C name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "printf" | "fprintf" => Builtin::Printf,
+            "sprintf" => Builtin::Sprintf,
+            "putchar" | "putc" | "fputc" => Builtin::Putchar,
+            "puts" => Builtin::Puts,
+            "getchar" | "getc" | "fgetc" => Builtin::Getchar,
+            "malloc" => Builtin::Malloc,
+            "calloc" => Builtin::Calloc,
+            "free" => Builtin::Free,
+            "memset" => Builtin::Memset,
+            "memcpy" | "memmove" => Builtin::Memcpy,
+            "strlen" => Builtin::Strlen,
+            "strcpy" => Builtin::Strcpy,
+            "strncpy" => Builtin::Strncpy,
+            "strcmp" => Builtin::Strcmp,
+            "strncmp" => Builtin::Strncmp,
+            "strcat" => Builtin::Strcat,
+            "atoi" | "atol" => Builtin::Atoi,
+            "abs" | "labs" => Builtin::Abs,
+            "exit" => Builtin::Exit,
+            "abort" => Builtin::Abort,
+            "rand" => Builtin::Rand,
+            "srand" => Builtin::Srand,
+            "sqrt" => Builtin::Sqrt,
+            "fabs" => Builtin::Fabs,
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "pow" => Builtin::Pow,
+            "floor" => Builtin::Floor,
+            "ceil" => Builtin::Ceil,
+            _ => return None,
+        })
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Printf => "printf",
+            Builtin::Sprintf => "sprintf",
+            Builtin::Putchar => "putchar",
+            Builtin::Puts => "puts",
+            Builtin::Getchar => "getchar",
+            Builtin::Malloc => "malloc",
+            Builtin::Calloc => "calloc",
+            Builtin::Free => "free",
+            Builtin::Memset => "memset",
+            Builtin::Memcpy => "memcpy",
+            Builtin::Strlen => "strlen",
+            Builtin::Strcpy => "strcpy",
+            Builtin::Strncpy => "strncpy",
+            Builtin::Strcmp => "strcmp",
+            Builtin::Strncmp => "strncmp",
+            Builtin::Strcat => "strcat",
+            Builtin::Atoi => "atoi",
+            Builtin::Abs => "abs",
+            Builtin::Exit => "exit",
+            Builtin::Abort => "abort",
+            Builtin::Rand => "rand",
+            Builtin::Srand => "srand",
+            Builtin::Sqrt => "sqrt",
+            Builtin::Fabs => "fabs",
+            Builtin::Sin => "sin",
+            Builtin::Cos => "cos",
+            Builtin::Exp => "exp",
+            Builtin::Log => "log",
+            Builtin::Pow => "pow",
+            Builtin::Floor => "floor",
+            Builtin::Ceil => "ceil",
+        }
+    }
+
+    /// The return type used during type checking.
+    pub fn return_type(self) -> Type {
+        match self {
+            Builtin::Malloc | Builtin::Calloc => Type::Ptr(Box::new(Type::Void)),
+            Builtin::Memset | Builtin::Memcpy => Type::Ptr(Box::new(Type::Void)),
+            Builtin::Strcpy | Builtin::Strncpy | Builtin::Strcat => {
+                Type::Ptr(Box::new(Type::Char))
+            }
+            Builtin::Sqrt
+            | Builtin::Fabs
+            | Builtin::Sin
+            | Builtin::Cos
+            | Builtin::Exp
+            | Builtin::Log
+            | Builtin::Pow
+            | Builtin::Floor
+            | Builtin::Ceil => Type::Float,
+            Builtin::Free | Builtin::Srand | Builtin::Exit | Builtin::Abort => Type::Void,
+            _ => Type::Int,
+        }
+    }
+
+    /// Whether calling this builtin terminates the program — the paper's
+    /// error heuristic keys off these ("Errors (calling abort or exit)
+    /// are unlikely").
+    pub fn is_noreturn(self) -> bool {
+        matches!(self, Builtin::Exit | Builtin::Abort)
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_round_trips() {
+        for b in [Builtin::Printf, Builtin::Exit, Builtin::Sqrt, Builtin::Memcpy] {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::from_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn noreturn_builtins() {
+        assert!(Builtin::Exit.is_noreturn());
+        assert!(Builtin::Abort.is_noreturn());
+        assert!(!Builtin::Printf.is_noreturn());
+    }
+
+    #[test]
+    fn aliases_map_to_same_builtin() {
+        assert_eq!(Builtin::from_name("fprintf"), Some(Builtin::Printf));
+        assert_eq!(Builtin::from_name("memmove"), Some(Builtin::Memcpy));
+    }
+}

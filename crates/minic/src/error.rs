@@ -1,0 +1,88 @@
+//! Compilation errors for the MiniC front end.
+
+use crate::token::Span;
+use std::error::Error;
+use std::fmt;
+
+/// Which front-end phase produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Lexical analysis (including the mini-preprocessor).
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Semantic analysis (name resolution, type checking).
+    Sema,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Lex => write!(f, "lex error"),
+            ErrorKind::Parse => write!(f, "parse error"),
+            ErrorKind::Sema => write!(f, "semantic error"),
+        }
+    }
+}
+
+/// An error produced while compiling MiniC source.
+///
+/// Use [`CompileError::render`] to format it with a line number against the
+/// original source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    kind: ErrorKind,
+    message: String,
+    span: Span,
+}
+
+impl CompileError {
+    /// Creates a new error at `span`.
+    pub fn new(kind: ErrorKind, message: String, span: Span) -> Self {
+        CompileError {
+            kind,
+            message,
+            span,
+        }
+    }
+
+    /// The phase that produced the error.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The human-readable message (no location).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source location of the error.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// Formats the error with its line number in `src`.
+    pub fn render(&self, src: &str) -> String {
+        format!("{}: line {}: {}", self.kind, self.span.line(src), self.message)
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}: {}", self.kind, self.span, self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_line() {
+        let e = CompileError::new(ErrorKind::Parse, "expected `;`".into(), Span::new(4, 5));
+        assert_eq!(e.render("ab\ncd"), "parse error: line 2: expected `;`");
+        assert!(format!("{e}").contains("expected `;`"));
+    }
+}

@@ -1,0 +1,89 @@
+//! The abstract cost model behind the Figure 10 experiment.
+//!
+//! The paper timed `compress` with different subsets of its functions
+//! compiled at `-O2`. We cannot produce native code, but the experiment
+//! only needs *relative* run times as functions move into the optimized
+//! set. The interpreter charges one cost unit per expression-evaluation
+//! step to the function executing it; "optimizing" a function scales
+//! its accumulated cost by [`OPT_FACTOR`] — roughly the speedup gcc's
+//! `-O2` delivered on inner-loop C code of the era.
+
+use crate::profile::Profile;
+use minic::sema::FuncId;
+use std::collections::HashSet;
+
+/// Cost multiplier for optimized functions (smaller = faster).
+pub const OPT_FACTOR: f64 = 0.55;
+
+/// Simulated run time (cost units) with the given functions optimized.
+///
+/// # Examples
+///
+/// ```
+/// use profiler::cost::{simulated_time, OPT_FACTOR};
+/// use profiler::Profile;
+/// use minic::sema::FuncId;
+/// use std::collections::HashSet;
+///
+/// let mut p = Profile::default();
+/// p.func_cost = vec![100, 900];
+/// let none: HashSet<FuncId> = HashSet::new();
+/// let hot: HashSet<FuncId> = [FuncId(1)].into_iter().collect();
+/// let t0 = simulated_time(&p, &none);
+/// let t1 = simulated_time(&p, &hot);
+/// assert!(t1 < t0);
+/// assert!((t0 - (100.0 + 900.0)).abs() < 1e-9);
+/// assert!((t1 - (100.0 + 900.0 * OPT_FACTOR)).abs() < 1e-9);
+/// ```
+pub fn simulated_time(profile: &Profile, optimized: &HashSet<FuncId>) -> f64 {
+    profile
+        .func_cost
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let factor = if optimized.contains(&FuncId(i as u32)) {
+                OPT_FACTOR
+            } else {
+                1.0
+            };
+            c as f64 * factor
+        })
+        .sum()
+}
+
+/// Speedup of optimizing `optimized` relative to no optimization.
+pub fn speedup(profile: &Profile, optimized: &HashSet<FuncId>) -> f64 {
+    let base = simulated_time(profile, &HashSet::new());
+    let opt = simulated_time(profile, optimized);
+    if opt > 0.0 {
+        base / opt
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimizing_everything_gives_full_factor() {
+        let p = Profile {
+            func_cost: vec![10, 20, 30],
+            ..Profile::default()
+        };
+        let all: HashSet<FuncId> = (0..3).map(FuncId).collect();
+        let s = speedup(&p, &all);
+        assert!((s - 1.0 / OPT_FACTOR).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimizing_cold_function_changes_little() {
+        let p = Profile {
+            func_cost: vec![1, 100_000],
+            ..Profile::default()
+        };
+        let cold: HashSet<FuncId> = [FuncId(0)].into_iter().collect();
+        assert!((speedup(&p, &cold) - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,154 @@
+/* alvinn: back-propagation training of a small feed-forward neural
+ * network on synthetic "road images", like the SPEC92 ALVINN
+ * autonomous-driving benchmark. Dense matrix-vector products in the
+ * forward and backward passes dominate; control flow is trivially
+ * loop-shaped (the "numerical category" of §4.1).
+ *
+ * Input: three integers — patterns, epochs, seed.
+ */
+
+#define NIN   30
+#define NHID  8
+#define NOUT  4
+#define MAXPAT 64
+
+float w1[NHID][NIN];
+float w2[NOUT][NHID];
+float hidden[NHID];
+float output[NOUT];
+float delta_out[NOUT];
+float delta_hid[NHID];
+
+float inputs[MAXPAT][NIN];
+float targets[MAXPAT][NOUT];
+
+int npat, nepochs, seed;
+float lrate;
+
+void fatal(char *msg) {
+    printf("alvinn: %s\n", msg);
+    exit(1);
+}
+
+int read_int(void) {
+    int c, v = 0, seen = 0;
+    c = getchar();
+    while (c == ' ' || c == '\n' || c == '\t') c = getchar();
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        seen = 1;
+        c = getchar();
+    }
+    if (!seen) fatal("expected an integer");
+    return v;
+}
+
+float frand(void) {
+    seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+    return (float)(seed % 10000) / 10000.0;
+}
+
+/* logistic squashing via exp() */
+float squash(float x) {
+    if (x > 20.0) return 1.0;
+    if (x < -20.0) return 0.0;
+    return 1.0 / (1.0 + exp(-x));
+}
+
+/* a synthetic road: a bright stripe whose position encodes the
+ * steering target */
+void make_pattern(int p) {
+    int lane = p % NOUT;
+    int center = 4 + lane * 7;
+    int i;
+    for (i = 0; i < NIN; i++) {
+        int d = i - center;
+        if (d < 0) d = -d;
+        inputs[p][i] = (d < 3 ? 1.0 - (float)d * 0.3 : 0.0)
+                       + (frand() - 0.5) * 0.1;
+    }
+    for (i = 0; i < NOUT; i++)
+        targets[p][i] = i == lane ? 0.9 : 0.1;
+}
+
+void init_weights(void) {
+    int i, j;
+    for (i = 0; i < NHID; i++)
+        for (j = 0; j < NIN; j++)
+            w1[i][j] = (frand() - 0.5) * 0.4;
+    for (i = 0; i < NOUT; i++)
+        for (j = 0; j < NHID; j++)
+            w2[i][j] = (frand() - 0.5) * 0.4;
+}
+
+void forward(int p) {
+    int i, j;
+    for (i = 0; i < NHID; i++) {
+        float s = 0.0;
+        for (j = 0; j < NIN; j++)
+            s += w1[i][j] * inputs[p][j];
+        hidden[i] = squash(s);
+    }
+    for (i = 0; i < NOUT; i++) {
+        float s = 0.0;
+        for (j = 0; j < NHID; j++)
+            s += w2[i][j] * hidden[j];
+        output[i] = squash(s);
+    }
+}
+
+float backward(int p) {
+    int i, j;
+    float err = 0.0;
+    for (i = 0; i < NOUT; i++) {
+        float e = targets[p][i] - output[i];
+        delta_out[i] = e * output[i] * (1.0 - output[i]);
+        err += e * e;
+    }
+    for (j = 0; j < NHID; j++) {
+        float s = 0.0;
+        for (i = 0; i < NOUT; i++)
+            s += delta_out[i] * w2[i][j];
+        delta_hid[j] = s * hidden[j] * (1.0 - hidden[j]);
+    }
+    for (i = 0; i < NOUT; i++)
+        for (j = 0; j < NHID; j++)
+            w2[i][j] += lrate * delta_out[i] * hidden[j];
+    for (i = 0; i < NHID; i++)
+        for (j = 0; j < NIN; j++)
+            w1[i][j] += lrate * delta_hid[i] * inputs[p][j];
+    return err;
+}
+
+int classify(int p) {
+    int i, best = 0;
+    forward(p);
+    for (i = 1; i < NOUT; i++)
+        if (output[i] > output[best]) best = i;
+    return best;
+}
+
+int main(void) {
+    int e, p, correct = 0;
+    float err = 0.0;
+    npat = read_int();
+    nepochs = read_int();
+    seed = read_int();
+    if (npat < NOUT || npat > MAXPAT) fatal("bad pattern count");
+    if (nepochs < 1 || nepochs > 500) fatal("bad epoch count");
+    lrate = 0.3;
+    init_weights();
+    for (p = 0; p < npat; p++) make_pattern(p);
+    for (e = 0; e < nepochs; e++) {
+        err = 0.0;
+        for (p = 0; p < npat; p++) {
+            forward(p);
+            err += backward(p);
+        }
+    }
+    for (p = 0; p < npat; p++)
+        if (classify(p) == p % NOUT) correct++;
+    printf("patterns=%d epochs=%d final_err=%d correct=%d\n",
+           npat, nepochs, (int)(err * 1000.0), correct);
+    return 0;
+}

@@ -1,0 +1,145 @@
+/* awk: a pattern scanner in the spirit of the awk benchmark. The first
+ * input line holds a small regular expression (supporting literals,
+ * `.`, `*`, `[abc]`, `[^abc]`, `^`, `$`); the remaining lines are
+ * scanned. For each matching line the program splits it into fields
+ * and accumulates statistics. Backtracking `match_here` is the hot
+ * region, as in any grep-like tool.
+ */
+
+#define LINE_MAX 256
+#define PAT_MAX  64
+
+char pattern[PAT_MAX];
+char line[LINE_MAX];
+
+int lines_read;
+int lines_matched;
+int total_fields;
+int total_chars;
+int field_checksum;
+
+int match_here(char *pat, char *text);
+
+/* does a single pattern atom match character c? advances *consumed to
+ * the atom's length in the pattern. */
+int match_atom(char *pat, int c, int *consumed) {
+    int negate = 0, matched = 0, i;
+    if (pat[0] == '[') {
+        i = 1;
+        if (pat[i] == '^') { negate = 1; i++; }
+        while (pat[i] != ']' && pat[i] != '\0') {
+            if (pat[i + 1] == '-' && pat[i + 2] != ']' && pat[i + 2] != '\0') {
+                if (c >= pat[i] && c <= pat[i + 2]) matched = 1;
+                i += 3;
+            } else {
+                if (pat[i] == c) matched = 1;
+                i++;
+            }
+        }
+        if (pat[i] == ']') i++;
+        *consumed = i;
+        if (c == '\0') return 0;
+        return negate ? !matched : matched;
+    }
+    *consumed = 1;
+    if (pat[0] == '.') return c != '\0';
+    return pat[0] == c && c != '\0';
+}
+
+/* match a starred atom: zero or more, then the rest (backtracking) */
+int match_star(char *atom, int atomlen, char *rest, char *text) {
+    char *t = text;
+    int consumed;
+    for (;;) {
+        if (match_here(rest, t)) return 1;
+        if (!match_atom(atom, *t, &consumed)) return 0;
+        t++;
+    }
+}
+
+int match_here(char *pat, char *text) {
+    int consumed;
+    if (pat[0] == '\0') return 1;
+    if (pat[0] == '$' && pat[1] == '\0') return *text == '\0';
+    /* find the atom's length to check for a trailing star */
+    {
+        int atomlen;
+        if (pat[0] == '[') {
+            int i = 1;
+            if (pat[i] == '^') i++;
+            while (pat[i] != ']' && pat[i] != '\0') i++;
+            atomlen = i + 1;
+        } else {
+            atomlen = 1;
+        }
+        if (pat[atomlen] == '*')
+            return match_star(pat, atomlen, pat + atomlen + 1, text);
+        if (match_atom(pat, *text, &consumed))
+            return match_here(pat + atomlen, text + 1);
+    }
+    return 0;
+}
+
+int match(char *pat, char *text) {
+    if (pat[0] == '^') return match_here(pat + 1, text);
+    for (;;) {
+        if (match_here(pat, text)) return 1;
+        if (*text == '\0') return 0;
+        text++;
+    }
+}
+
+/* read one line; returns 0 at EOF with nothing read */
+int read_line(char *buf, int max) {
+    int c, i = 0;
+    c = getchar();
+    if (c == -1) return 0;
+    while (c != -1 && c != '\n') {
+        if (i < max - 1) buf[i++] = c;
+        c = getchar();
+    }
+    buf[i] = '\0';
+    return 1;
+}
+
+/* split the line into whitespace-separated fields, awk-style */
+void process_fields(char *buf) {
+    int i = 0, infield = 0, fields = 0;
+    int fieldsum = 0;
+    while (buf[i] != '\0') {
+        if (buf[i] == ' ' || buf[i] == '\t') {
+            infield = 0;
+        } else {
+            if (!infield) fields++;
+            infield = 1;
+            fieldsum = (fieldsum * 31 + buf[i]) & 0xFFFF;
+        }
+        i++;
+    }
+    total_fields += fields;
+    field_checksum ^= fieldsum;
+}
+
+int main(void) {
+    lines_read = 0;
+    lines_matched = 0;
+    total_fields = 0;
+    total_chars = 0;
+    field_checksum = 0;
+    if (!read_line(pattern, PAT_MAX)) {
+        printf("awk: no pattern\n");
+        exit(1);
+    }
+    while (read_line(line, LINE_MAX)) {
+        lines_read++;
+        total_chars += strlen(line);
+        if (match(pattern, line)) {
+            lines_matched++;
+            process_fields(line);
+        }
+    }
+    printf("lines=%d matched=%d fields=%d chars=%d sum=%x\n",
+           lines_read, lines_matched, total_fields, total_chars,
+           field_checksum);
+    return 0;
+}

@@ -1,0 +1,264 @@
+/* bison: a parser-generator core standing in for the LALR(1) generator
+ * in the suite. Reads a context-free grammar (one production per line,
+ * `A : X Y z ;` — uppercase letters are nonterminals, lowercase are
+ * terminals), computes NULLABLE, FIRST, and FOLLOW sets by fixpoint
+ * iteration, builds the LL(1) parse table, counts conflicts, and then
+ * parses a probe sentence with the table. Set computations are the
+ * classic bitset fixpoint loops that dominate parser generators.
+ */
+
+#define MAX_PRODS 64
+#define MAX_RHS   8
+#define NSYM      52       /* 26 nonterminals + 26 terminals */
+
+/* symbol encoding: nonterminals 0..25, terminals 26..51 */
+int nt_of(int c) { return c - 'A'; }
+int term_of(int c) { return 26 + c - 'a'; }
+
+int prod_lhs[MAX_PRODS];
+int prod_rhs[MAX_PRODS][MAX_RHS];
+int prod_len[MAX_PRODS];
+int nprods;
+
+int nullable[26];
+int first[26];      /* bitmask over terminals 0..25 */
+int follow[26];
+int ll_table[26][26];   /* nonterminal x terminal -> production or -1 */
+int conflicts;
+int fixpoint_rounds;
+
+int cur_char;
+
+void fatal(char *msg) {
+    printf("bison: %s\n", msg);
+    exit(1);
+}
+
+void advance(void) { cur_char = getchar(); }
+
+void skip_ws(void) {
+    while (cur_char == ' ' || cur_char == '\t' || cur_char == '\n') advance();
+}
+
+int term_bit(int sym) { return 1 << (sym - 26); }
+
+void read_grammar(void) {
+    nprods = 0;
+    advance();
+    for (;;) {
+        int lhs, len = 0;
+        skip_ws();
+        if (cur_char == -1 || cur_char == '.') break;
+        if (cur_char < 'A' || cur_char > 'Z') fatal("expected a nonterminal");
+        lhs = nt_of(cur_char);
+        advance();
+        skip_ws();
+        if (cur_char != ':') fatal("expected :");
+        advance();
+        for (;;) {
+            skip_ws();
+            if (cur_char == ';') {
+                advance();
+                break;
+            }
+            if (cur_char == -1) fatal("unterminated production");
+            if (len >= MAX_RHS) fatal("production too long");
+            if (cur_char >= 'A' && cur_char <= 'Z')
+                prod_rhs[nprods][len++] = nt_of(cur_char);
+            else if (cur_char >= 'a' && cur_char <= 'z')
+                prod_rhs[nprods][len++] = term_of(cur_char);
+            else if (cur_char == '_') {
+                /* epsilon marker: empty production */
+            } else {
+                fatal("bad symbol");
+            }
+            advance();
+        }
+        if (nprods >= MAX_PRODS) fatal("too many productions");
+        prod_lhs[nprods] = lhs;
+        prod_len[nprods] = len;
+        nprods++;
+    }
+}
+
+void compute_nullable(void) {
+    int changed = 1, p, i;
+    for (i = 0; i < 26; i++) nullable[i] = 0;
+    while (changed) {
+        changed = 0;
+        fixpoint_rounds++;
+        for (p = 0; p < nprods; p++) {
+            int all = 1;
+            if (nullable[prod_lhs[p]]) continue;
+            for (i = 0; i < prod_len[p]; i++) {
+                int s = prod_rhs[p][i];
+                if (s >= 26 || !nullable[s]) {
+                    all = 0;
+                    break;
+                }
+            }
+            if (all) {
+                nullable[prod_lhs[p]] = 1;
+                changed = 1;
+            }
+        }
+    }
+}
+
+void compute_first(void) {
+    int changed = 1, p, i;
+    for (i = 0; i < 26; i++) first[i] = 0;
+    while (changed) {
+        changed = 0;
+        fixpoint_rounds++;
+        for (p = 0; p < nprods; p++) {
+            int lhs = prod_lhs[p], old = first[lhs];
+            for (i = 0; i < prod_len[p]; i++) {
+                int s = prod_rhs[p][i];
+                if (s >= 26) {
+                    first[lhs] |= term_bit(s);
+                    break;
+                }
+                first[lhs] |= first[s];
+                if (!nullable[s]) break;
+            }
+            if (first[lhs] != old) changed = 1;
+        }
+    }
+}
+
+void compute_follow(void) {
+    int changed = 1, p, i, j;
+    for (i = 0; i < 26; i++) follow[i] = 0;
+    /* end marker for the start symbol: use bit 25 ('z') as $ */
+    follow[prod_lhs[0]] |= 1 << 25;
+    while (changed) {
+        changed = 0;
+        fixpoint_rounds++;
+        for (p = 0; p < nprods; p++) {
+            for (i = 0; i < prod_len[p]; i++) {
+                int s = prod_rhs[p][i], old;
+                if (s >= 26) continue;
+                old = follow[s];
+                /* everything derivable right after s */
+                for (j = i + 1; j < prod_len[p]; j++) {
+                    int t = prod_rhs[p][j];
+                    if (t >= 26) {
+                        follow[s] |= term_bit(t);
+                        break;
+                    }
+                    follow[s] |= first[t];
+                    if (!nullable[t]) break;
+                }
+                if (j == prod_len[p])
+                    follow[s] |= follow[prod_lhs[p]];
+                if (follow[s] != old) changed = 1;
+            }
+        }
+    }
+}
+
+/* FIRST of a production's rhs (with FOLLOW(lhs) if nullable) */
+int prod_first(int p) {
+    int set = 0, i, all_nullable = 1;
+    for (i = 0; i < prod_len[p]; i++) {
+        int s = prod_rhs[p][i];
+        if (s >= 26) {
+            set |= term_bit(s);
+            all_nullable = 0;
+            break;
+        }
+        set |= first[s];
+        if (!nullable[s]) {
+            all_nullable = 0;
+            break;
+        }
+    }
+    if (all_nullable) set |= follow[prod_lhs[p]];
+    return set;
+}
+
+void build_table(void) {
+    int p, t, a;
+    conflicts = 0;
+    for (a = 0; a < 26; a++)
+        for (t = 0; t < 26; t++)
+            ll_table[a][t] = -1;
+    for (p = 0; p < nprods; p++) {
+        int set = prod_first(p);
+        for (t = 0; t < 26; t++) {
+            if (set & (1 << t)) {
+                if (ll_table[prod_lhs[p]][t] != -1) conflicts++;
+                else ll_table[prod_lhs[p]][t] = p;
+            }
+        }
+    }
+}
+
+/* table-driven parse of a probe string using a symbol stack */
+int parse_probe(char *text) {
+    int stack[256], sp = 0, pos = 0, steps = 0;
+    stack[sp++] = prod_lhs[0];
+    while (sp > 0) {
+        int top = stack[--sp];
+        int c = text[pos];
+        int t = c == '\0' ? 25 : c - 'a';   /* '$' = bit 25 */
+        steps++;
+        if (steps > 10000) return -steps;
+        if (top >= 26) {
+            /* terminal on stack: must match input */
+            if (c != '\0' && top == term_of(c)) pos++;
+            else return -steps;
+        } else {
+            int p = t >= 0 && t < 26 ? ll_table[top][t] : -1;
+            int i;
+            if (p < 0) return -steps;
+            for (i = prod_len[p] - 1; i >= 0; i--)
+                stack[sp++] = prod_rhs[p][i];
+            if (sp >= 250) return -steps;
+        }
+    }
+    if (text[pos] == '\0') return steps;
+    return -steps;
+}
+
+char probe[128];
+
+void read_probe(void) {
+    int c, i = 0;
+    skip_ws();
+    while ((c = cur_char) != -1 && c != '\n') {
+        if (i < 127 && c >= 'a' && c <= 'z') probe[i++] = c;
+        advance();
+    }
+    probe[i] = '\0';
+}
+
+int count_bits(int v) {
+    int n = 0;
+    while (v) { n += v & 1; v >>= 1; }
+    return n;
+}
+
+int main(void) {
+    int i, first_total = 0, follow_total = 0, nullable_count = 0, steps;
+    fixpoint_rounds = 0;
+    read_grammar();
+    if (nprods == 0) fatal("empty grammar");
+    if (cur_char == '.') advance();
+    read_probe();
+    compute_nullable();
+    compute_first();
+    compute_follow();
+    build_table();
+    for (i = 0; i < 26; i++) {
+        first_total += count_bits(first[i]);
+        follow_total += count_bits(follow[i]);
+        nullable_count += nullable[i];
+    }
+    steps = parse_probe(probe);
+    printf("prods=%d rounds=%d nullable=%d first=%d follow=%d conflicts=%d probe=%d\n",
+           nprods, fixpoint_rounds, nullable_count, first_total,
+           follow_total, conflicts, steps);
+    return 0;
+}

@@ -1,0 +1,484 @@
+/* cc: a miniature optimizing compiler standing in for GNU cc in the
+ * suite. It lexes and parses a small imperative language (assignments,
+ * arithmetic, if/while, print), builds an AST in arenas, runs constant
+ * folding and a peephole pass over generated stack-machine code, and
+ * finally executes the program on the built-in VM. Compilers are
+ * branchy, pointer-chasing programs — the structural opposite of the
+ * numeric codes in the suite.
+ *
+ * Language:
+ *   stmt  := name '=' expr ';' | 'print' expr ';'
+ *          | 'if' '(' expr ')' block | 'while' '(' expr ')' block
+ *   block := '{' stmt* '}'
+ */
+
+#define MAX_NODES 2000
+#define MAX_CODE  6000
+#define MAX_VARS  52
+#define NAMELEN   8
+
+/* tokens */
+#define TK_EOF    0
+#define TK_NAME   1
+#define TK_NUM    2
+#define TK_PUNCT  3
+#define TK_IF     4
+#define TK_WHILE  5
+#define TK_PRINT  6
+
+/* AST ops */
+#define N_NUM    0
+#define N_VAR    1
+#define N_ADD    2
+#define N_SUB    3
+#define N_MUL    4
+#define N_DIV    5
+#define N_MOD    6
+#define N_LT     7
+#define N_GT     8
+#define N_EQ     9
+#define N_NE     10
+#define N_ASSIGN 11
+#define N_PRINT  12
+#define N_IF     13
+#define N_WHILE  14
+#define N_SEQ    15
+#define N_NOP    16
+
+/* VM opcodes */
+#define V_PUSH  0
+#define V_LOAD  1
+#define V_STORE 2
+#define V_ADD   3
+#define V_SUB   4
+#define V_MUL   5
+#define V_DIV   6
+#define V_MOD   7
+#define V_LT    8
+#define V_GT    9
+#define V_EQ    10
+#define V_NE    11
+#define V_JMP   12
+#define V_JZ    13
+#define V_PRINT 14
+#define V_HALT  15
+
+int node_op[MAX_NODES];
+int node_a[MAX_NODES];
+int node_b[MAX_NODES];
+int node_val[MAX_NODES];
+int nnodes;
+
+int code_op[MAX_CODE];
+int code_arg[MAX_CODE];
+int ncode;
+
+int tok_kind;
+int tok_val;
+char tok_name[NAMELEN];
+int cur_char;
+
+int folded_nodes;
+int peephole_wins;
+
+void fatal(char *msg) {
+    printf("cc: error: %s\n", msg);
+    exit(1);
+}
+
+/* ---- lexer ---- */
+
+void advance(void) { cur_char = getchar(); }
+
+void next_token(void) {
+    while (cur_char == ' ' || cur_char == '\n' || cur_char == '\t' ||
+           cur_char == '#') {
+        if (cur_char == '#') {
+            while (cur_char != -1 && cur_char != '\n') advance();
+        } else {
+            advance();
+        }
+    }
+    if (cur_char == -1) {
+        tok_kind = TK_EOF;
+        return;
+    }
+    if (cur_char >= '0' && cur_char <= '9') {
+        tok_kind = TK_NUM;
+        tok_val = 0;
+        while (cur_char >= '0' && cur_char <= '9') {
+            tok_val = tok_val * 10 + (cur_char - '0');
+            advance();
+        }
+        return;
+    }
+    if ((cur_char >= 'a' && cur_char <= 'z') ||
+        (cur_char >= 'A' && cur_char <= 'Z')) {
+        int i = 0;
+        while ((cur_char >= 'a' && cur_char <= 'z') ||
+               (cur_char >= 'A' && cur_char <= 'Z') ||
+               (cur_char >= '0' && cur_char <= '9')) {
+            if (i < NAMELEN - 1) tok_name[i++] = cur_char;
+            advance();
+        }
+        tok_name[i] = '\0';
+        if (strcmp(tok_name, "if") == 0) tok_kind = TK_IF;
+        else if (strcmp(tok_name, "while") == 0) tok_kind = TK_WHILE;
+        else if (strcmp(tok_name, "print") == 0) tok_kind = TK_PRINT;
+        else tok_kind = TK_NAME;
+        return;
+    }
+    tok_kind = TK_PUNCT;
+    tok_val = cur_char;
+    advance();
+    /* two-char operators: == != */
+    if ((tok_val == '=' || tok_val == '!') && cur_char == '=') {
+        tok_val = tok_val == '=' ? 'E' : 'N';
+        advance();
+    }
+}
+
+int expect_punct(int p) {
+    if (tok_kind != TK_PUNCT || tok_val != p) fatal("unexpected token");
+    next_token();
+    return 0;
+}
+
+/* ---- parser ---- */
+
+int var_index(char *name) {
+    int c = name[0];
+    if (c >= 'a' && c <= 'z') return c - 'a';
+    if (c >= 'A' && c <= 'Z') return 26 + c - 'A';
+    fatal("bad variable");
+    return 0;
+}
+
+int new_node(int op, int a, int b) {
+    if (nnodes >= MAX_NODES) fatal("AST overflow");
+    node_op[nnodes] = op;
+    node_a[nnodes] = a;
+    node_b[nnodes] = b;
+    node_val[nnodes] = 0;
+    nnodes++;
+    return nnodes - 1;
+}
+
+int parse_expr(void);
+
+int parse_primary(void) {
+    int n;
+    if (tok_kind == TK_NUM) {
+        n = new_node(N_NUM, 0, 0);
+        node_val[n] = tok_val;
+        next_token();
+        return n;
+    }
+    if (tok_kind == TK_NAME) {
+        n = new_node(N_VAR, var_index(tok_name), 0);
+        next_token();
+        return n;
+    }
+    if (tok_kind == TK_PUNCT && tok_val == '(') {
+        next_token();
+        n = parse_expr();
+        expect_punct(')');
+        return n;
+    }
+    fatal("expected an expression");
+    return 0;
+}
+
+int parse_term(void) {
+    int lhs = parse_primary();
+    while (tok_kind == TK_PUNCT &&
+           (tok_val == '*' || tok_val == '/' || tok_val == '%')) {
+        int op = tok_val == '*' ? N_MUL : (tok_val == '/' ? N_DIV : N_MOD);
+        next_token();
+        lhs = new_node(op, lhs, parse_primary());
+    }
+    return lhs;
+}
+
+int parse_sum(void) {
+    int lhs = parse_term();
+    while (tok_kind == TK_PUNCT && (tok_val == '+' || tok_val == '-')) {
+        int op = tok_val == '+' ? N_ADD : N_SUB;
+        next_token();
+        lhs = new_node(op, lhs, parse_term());
+    }
+    return lhs;
+}
+
+int parse_expr(void) {
+    int lhs = parse_sum();
+    while (tok_kind == TK_PUNCT &&
+           (tok_val == '<' || tok_val == '>' || tok_val == 'E' || tok_val == 'N')) {
+        int op;
+        if (tok_val == '<') op = N_LT;
+        else if (tok_val == '>') op = N_GT;
+        else if (tok_val == 'E') op = N_EQ;
+        else op = N_NE;
+        next_token();
+        lhs = new_node(op, lhs, parse_sum());
+    }
+    return lhs;
+}
+
+int parse_block(void);
+
+int parse_stmt(void) {
+    int n, cond, body;
+    if (tok_kind == TK_PRINT) {
+        next_token();
+        n = new_node(N_PRINT, parse_expr(), 0);
+        expect_punct(';');
+        return n;
+    }
+    if (tok_kind == TK_IF) {
+        next_token();
+        expect_punct('(');
+        cond = parse_expr();
+        expect_punct(')');
+        body = parse_block();
+        return new_node(N_IF, cond, body);
+    }
+    if (tok_kind == TK_WHILE) {
+        next_token();
+        expect_punct('(');
+        cond = parse_expr();
+        expect_punct(')');
+        body = parse_block();
+        return new_node(N_WHILE, cond, body);
+    }
+    if (tok_kind == TK_NAME) {
+        int v = var_index(tok_name);
+        next_token();
+        expect_punct('=');
+        n = new_node(N_ASSIGN, v, parse_expr());
+        expect_punct(';');
+        return n;
+    }
+    fatal("expected a statement");
+    return 0;
+}
+
+int parse_block(void) {
+    int seq = new_node(N_NOP, 0, 0);
+    expect_punct('{');
+    while (!(tok_kind == TK_PUNCT && tok_val == '}')) {
+        if (tok_kind == TK_EOF) fatal("unterminated block");
+        seq = new_node(N_SEQ, seq, parse_stmt());
+    }
+    next_token();
+    return seq;
+}
+
+int parse_program(void) {
+    int seq = new_node(N_NOP, 0, 0);
+    while (tok_kind != TK_EOF)
+        seq = new_node(N_SEQ, seq, parse_stmt());
+    return seq;
+}
+
+/* ---- constant folding ---- */
+
+int is_const(int n) { return node_op[n] == N_NUM; }
+
+void fold(int n) {
+    int a, b, op = node_op[n];
+    if (op == N_NUM || op == N_VAR || op == N_NOP) return;
+    if (op == N_SEQ || op == N_IF || op == N_WHILE) {
+        fold(node_a[n]);
+        fold(node_b[n]);
+        return;
+    }
+    if (op == N_PRINT) {
+        fold(node_a[n]);
+        return;
+    }
+    if (op == N_ASSIGN) {
+        fold(node_b[n]);
+        return;
+    }
+    a = node_a[n];
+    b = node_b[n];
+    fold(a);
+    fold(b);
+    if (is_const(a) && is_const(b)) {
+        int x = node_val[a], y = node_val[b], r;
+        switch (op) {
+            case N_ADD: r = x + y; break;
+            case N_SUB: r = x - y; break;
+            case N_MUL: r = x * y; break;
+            case N_DIV: if (y == 0) return; r = x / y; break;
+            case N_MOD: if (y == 0) return; r = x % y; break;
+            case N_LT:  r = x < y; break;
+            case N_GT:  r = x > y; break;
+            case N_EQ:  r = x == y; break;
+            case N_NE:  r = x != y; break;
+            default: return;
+        }
+        node_op[n] = N_NUM;
+        node_val[n] = r;
+        folded_nodes++;
+    }
+}
+
+/* ---- code generation ---- */
+
+void emit(int op, int arg) {
+    if (ncode >= MAX_CODE) fatal("code overflow");
+    code_op[ncode] = op;
+    code_arg[ncode] = arg;
+    ncode++;
+}
+
+void gen(int n) {
+    int patch, top;
+    switch (node_op[n]) {
+        case N_NOP:
+            break;
+        case N_NUM:
+            emit(V_PUSH, node_val[n]);
+            break;
+        case N_VAR:
+            emit(V_LOAD, node_a[n]);
+            break;
+        case N_SEQ:
+            gen(node_a[n]);
+            gen(node_b[n]);
+            break;
+        case N_ASSIGN:
+            gen(node_b[n]);
+            emit(V_STORE, node_a[n]);
+            break;
+        case N_PRINT:
+            gen(node_a[n]);
+            emit(V_PRINT, 0);
+            break;
+        case N_IF:
+            gen(node_a[n]);
+            patch = ncode;
+            emit(V_JZ, 0);
+            gen(node_b[n]);
+            code_arg[patch] = ncode;
+            break;
+        case N_WHILE:
+            top = ncode;
+            gen(node_a[n]);
+            patch = ncode;
+            emit(V_JZ, 0);
+            gen(node_b[n]);
+            emit(V_JMP, top);
+            code_arg[patch] = ncode;
+            break;
+        case N_ADD: gen(node_a[n]); gen(node_b[n]); emit(V_ADD, 0); break;
+        case N_SUB: gen(node_a[n]); gen(node_b[n]); emit(V_SUB, 0); break;
+        case N_MUL: gen(node_a[n]); gen(node_b[n]); emit(V_MUL, 0); break;
+        case N_DIV: gen(node_a[n]); gen(node_b[n]); emit(V_DIV, 0); break;
+        case N_MOD: gen(node_a[n]); gen(node_b[n]); emit(V_MOD, 0); break;
+        case N_LT:  gen(node_a[n]); gen(node_b[n]); emit(V_LT, 0); break;
+        case N_GT:  gen(node_a[n]); gen(node_b[n]); emit(V_GT, 0); break;
+        case N_EQ:  gen(node_a[n]); gen(node_b[n]); emit(V_EQ, 0); break;
+        case N_NE:  gen(node_a[n]); gen(node_b[n]); emit(V_NE, 0); break;
+        default: fatal("bad node in gen");
+    }
+}
+
+/* ---- peephole: PUSH k; MUL/ADD with 1/0 identities ---- */
+
+void peephole(void) {
+    int i, j;
+    for (i = 0; i + 1 < ncode; i++) {
+        if (code_op[i] == V_PUSH && code_arg[i] == 0 &&
+            code_op[i + 1] == V_ADD) {
+            code_op[i] = V_JMP;      /* become a no-op jump-to-next */
+            code_arg[i] = i + 2;
+            code_op[i + 1] = V_JMP;
+            code_arg[i + 1] = i + 2;
+            peephole_wins++;
+        } else if (code_op[i] == V_PUSH && code_arg[i] == 1 &&
+                   code_op[i + 1] == V_MUL) {
+            code_op[i] = V_JMP;
+            code_arg[i] = i + 2;
+            code_op[i + 1] = V_JMP;
+            code_arg[i + 1] = i + 2;
+            peephole_wins++;
+        }
+    }
+    /* thread jumps-to-jumps */
+    for (i = 0; i < ncode; i++) {
+        if (code_op[i] == V_JMP || code_op[i] == V_JZ) {
+            j = code_arg[i];
+            while (j < ncode && code_op[j] == V_JMP && code_arg[j] != j)
+                j = code_arg[j];
+            code_arg[i] = j;
+        }
+    }
+}
+
+/* ---- the VM ---- */
+
+int vm_stack[128];
+int vm_vars[MAX_VARS];
+int vm_steps;
+
+void execute(void) {
+    int pc = 0, sp = 0, b;
+    while (pc < ncode) {
+        int op = code_op[pc], arg = code_arg[pc];
+        vm_steps++;
+        pc++;
+        switch (op) {
+            case V_PUSH: vm_stack[sp++] = arg; break;
+            case V_LOAD: vm_stack[sp++] = vm_vars[arg]; break;
+            case V_STORE: vm_vars[arg] = vm_stack[--sp]; break;
+            case V_ADD: b = vm_stack[--sp]; vm_stack[sp - 1] += b; break;
+            case V_SUB: b = vm_stack[--sp]; vm_stack[sp - 1] -= b; break;
+            case V_MUL: b = vm_stack[--sp]; vm_stack[sp - 1] *= b; break;
+            case V_DIV:
+                b = vm_stack[--sp];
+                if (b == 0) fatal("runtime division by zero");
+                vm_stack[sp - 1] /= b;
+                break;
+            case V_MOD:
+                b = vm_stack[--sp];
+                if (b == 0) fatal("runtime division by zero");
+                vm_stack[sp - 1] %= b;
+                break;
+            case V_LT: b = vm_stack[--sp]; vm_stack[sp - 1] = vm_stack[sp - 1] < b; break;
+            case V_GT: b = vm_stack[--sp]; vm_stack[sp - 1] = vm_stack[sp - 1] > b; break;
+            case V_EQ: b = vm_stack[--sp]; vm_stack[sp - 1] = vm_stack[sp - 1] == b; break;
+            case V_NE: b = vm_stack[--sp]; vm_stack[sp - 1] = vm_stack[sp - 1] != b; break;
+            case V_JMP: pc = arg; break;
+            case V_JZ: if (vm_stack[--sp] == 0) pc = arg; break;
+            case V_PRINT: printf("%d\n", vm_stack[--sp]); break;
+            case V_HALT: return;
+            default: fatal("bad opcode");
+        }
+        if (sp < 0 || sp >= 128) fatal("VM stack error");
+        if (vm_steps > 4000000) fatal("VM step limit");
+    }
+}
+
+int main(void) {
+    int i, root;
+    nnodes = 0;
+    ncode = 0;
+    folded_nodes = 0;
+    peephole_wins = 0;
+    vm_steps = 0;
+    for (i = 0; i < MAX_VARS; i++) vm_vars[i] = 0;
+    advance();
+    next_token();
+    root = parse_program();
+    fold(root);
+    gen(root);
+    emit(V_HALT, 0);
+    peephole();
+    execute();
+    printf("nodes=%d folded=%d code=%d peephole=%d steps=%d\n",
+           nnodes, folded_nodes, ncode, peephole_wins, vm_steps);
+    return 0;
+}

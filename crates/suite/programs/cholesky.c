@@ -1,0 +1,151 @@
+/* cholesky: banded Cholesky factorization of a symmetric positive
+ * definite matrix, plus triangular solves and a residual check —
+ * the suite's sparse linear-algebra representative. Numeric programs
+ * like this have simple control flow whose loop bounds the standard
+ * count-5 assumption underestimates (§4.1 discusses exactly this
+ * split in the suite).
+ *
+ * Input: three integers — n (matrix order), band (half bandwidth),
+ * seed.
+ */
+
+#define MAX_N 128
+
+float a[MAX_N][MAX_N];
+float l[MAX_N][MAX_N];
+float x[MAX_N];
+float b[MAX_N];
+float y[MAX_N];
+
+int n, band, seed;
+
+void fatal(char *msg) {
+    printf("cholesky: %s\n", msg);
+    exit(1);
+}
+
+int read_int(void) {
+    int c, v = 0, seen = 0;
+    c = getchar();
+    while (c == ' ' || c == '\n' || c == '\t') c = getchar();
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        seen = 1;
+        c = getchar();
+    }
+    if (!seen) fatal("expected an integer");
+    return v;
+}
+
+int next_rand(void) {
+    seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+    return seed;
+}
+
+/* Build a diagonally dominant banded SPD matrix. */
+void build_matrix(void) {
+    int i, j;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            a[i][j] = 0.0;
+    for (i = 0; i < n; i++) {
+        float rowsum = 0.0;
+        for (j = i - band; j <= i + band; j++) {
+            if (j < 0 || j >= n || j == i) continue;
+            if (j < i) {
+                a[i][j] = a[j][i];     /* symmetry */
+            } else {
+                a[i][j] = (float)(next_rand() % 19 - 9) / 10.0;
+            }
+        }
+        for (j = 0; j < n; j++)
+            if (j != i) rowsum += fabs(a[i][j]);
+        a[i][i] = rowsum + 1.0 + (float)(next_rand() % 5);
+    }
+}
+
+/* The factorization: L such that L * L^T = A. Hot triple loop. */
+void factorize(void) {
+    int i, j, k;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            l[i][j] = 0.0;
+    for (j = 0; j < n; j++) {
+        float diag = a[j][j];
+        int lo = j - band;
+        if (lo < 0) lo = 0;
+        for (k = lo; k < j; k++)
+            diag -= l[j][k] * l[j][k];
+        if (diag <= 0.0) fatal("matrix not positive definite");
+        l[j][j] = sqrt(diag);
+        for (i = j + 1; i < n && i <= j + band; i++) {
+            float s = a[i][j];
+            for (k = lo; k < j; k++)
+                s -= l[i][k] * l[j][k];
+            l[i][j] = s / l[j][j];
+        }
+    }
+}
+
+/* forward substitution: L y = b */
+void forward_solve(void) {
+    int i, k;
+    for (i = 0; i < n; i++) {
+        float s = b[i];
+        int lo = i - band;
+        if (lo < 0) lo = 0;
+        for (k = lo; k < i; k++)
+            s -= l[i][k] * y[k];
+        y[i] = s / l[i][i];
+    }
+}
+
+/* back substitution: L^T x = y */
+void back_solve(void) {
+    int i, k;
+    for (i = n - 1; i >= 0; i--) {
+        float s = y[i];
+        int hi = i + band;
+        if (hi >= n) hi = n - 1;
+        for (k = i + 1; k <= hi; k++)
+            s -= l[k][i] * x[k];
+        x[i] = s / l[i][i];
+    }
+}
+
+float residual(void) {
+    int i, j;
+    float worst = 0.0;
+    for (i = 0; i < n; i++) {
+        float s = 0.0;
+        for (j = 0; j < n; j++)
+            s += a[i][j] * x[j];
+        s -= b[i];
+        if (fabs(s) > worst) worst = fabs(s);
+    }
+    return worst;
+}
+
+int main(void) {
+    int i, nz = 0, j;
+    float res, norm = 0.0;
+    n = read_int();
+    band = read_int();
+    seed = read_int();
+    if (n < 2 || n > MAX_N) fatal("bad order");
+    if (band < 1 || band >= n) fatal("bad bandwidth");
+    build_matrix();
+    for (i = 0; i < n; i++)
+        b[i] = (float)(next_rand() % 100) / 10.0;
+    factorize();
+    forward_solve();
+    back_solve();
+    res = residual();
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            if (l[i][j] != 0.0) nz++;
+    for (i = 0; i < n; i++) norm += x[i] * x[i];
+    printf("n=%d band=%d nonzeros=%d norm=%d residual_ok=%d\n",
+           n, band, nz, (int)(norm * 100.0), res < 0.001);
+    return 0;
+}

@@ -1,0 +1,177 @@
+/* compress: LZW compressor modeled on the Unix compress utility.
+ *
+ * Exactly 16 functions, mirroring the paper's Figure 10 experiment
+ * ("The run time of the program is dominated by 4 of its 16
+ * functions"). The hot four are next_byte, find_code, emit_code, and
+ * compress_stream; the rest are setup, statistics, and cold paths.
+ */
+
+#define TABLE_SIZE 4096
+#define HASH_SIZE  8192
+#define FIRST_FREE 256
+#define MAX_BITS   12
+
+int prefix_of[TABLE_SIZE];
+int suffix_of[TABLE_SIZE];
+int hash_head[HASH_SIZE];
+int hash_next[TABLE_SIZE];
+int next_code;
+
+int in_count;
+int out_count;
+int bit_buffer;
+int bit_pending;
+int code_width;
+int checksum;
+
+/* 1: cold error path */
+void fatal(char *msg) {
+    printf("compress: %s\n", msg);
+    exit(1);
+}
+
+/* 2: cold usage path */
+void usage(void) {
+    printf("usage: compress < input\n");
+    exit(2);
+}
+
+/* 3: hot - input */
+int next_byte(void) {
+    int c = getchar();
+    if (c != -1) in_count++;
+    return c;
+}
+
+/* 4: hash function (hot, called from find_code/add_code) */
+int hash_pair(int prefix, int suffix) {
+    return ((prefix << 5) ^ (suffix * 31)) & (HASH_SIZE - 1);
+}
+
+/* 5: hot - dictionary lookup */
+int find_code(int prefix, int suffix) {
+    int h = hash_pair(prefix, suffix);
+    int code = hash_head[h];
+    while (code != -1) {
+        if (prefix_of[code] == prefix && suffix_of[code] == suffix)
+            return code;
+        code = hash_next[code];
+    }
+    return -1;
+}
+
+/* 6: dictionary insert */
+int add_code(int prefix, int suffix) {
+    int h;
+    if (next_code >= TABLE_SIZE) return -1;
+    h = hash_pair(prefix, suffix);
+    prefix_of[next_code] = prefix;
+    suffix_of[next_code] = suffix;
+    hash_next[next_code] = hash_head[h];
+    hash_head[h] = next_code;
+    next_code++;
+    return next_code - 1;
+}
+
+/* 7: output a single byte of compressed data */
+void put_byte(int b) {
+    checksum = (checksum * 131 + (b & 255)) & 0xFFFFFF;
+    out_count++;
+}
+
+/* 8: hot - bit-level output */
+void emit_code(int code) {
+    bit_buffer |= code << bit_pending;
+    bit_pending += code_width;
+    while (bit_pending >= 8) {
+        put_byte(bit_buffer & 255);
+        bit_buffer >>= 8;
+        bit_pending -= 8;
+    }
+}
+
+/* 9: flush remaining bits */
+void flush_bits(void) {
+    if (bit_pending > 0) {
+        put_byte(bit_buffer & 255);
+        bit_buffer = 0;
+        bit_pending = 0;
+    }
+}
+
+/* 10: widen the code size as the table fills */
+void maybe_widen(void) {
+    if (next_code > (1 << code_width) && code_width < MAX_BITS)
+        code_width++;
+}
+
+/* 11: (re)initialize the dictionary */
+void init_table(void) {
+    int i;
+    for (i = 0; i < HASH_SIZE; i++) hash_head[i] = -1;
+    for (i = 0; i < TABLE_SIZE; i++) {
+        prefix_of[i] = -1;
+        suffix_of[i] = -1;
+        hash_next[i] = -1;
+    }
+    next_code = FIRST_FREE;
+    code_width = 9;
+}
+
+/* 12: reset when the table is full and ratio degrades */
+void reset_table(void) {
+    emit_code(FIRST_FREE - 1);  /* clear marker */
+    init_table();
+}
+
+/* 13: compression ratio check (rarely triggers a reset) */
+int ratio_ok(void) {
+    if (in_count == 0) return 1;
+    if (next_code < TABLE_SIZE) return 1;
+    /* Table full: reset when expansion is detected. */
+    if (out_count * 10 > in_count * 9) return 0;
+    return 1;
+}
+
+/* 14: the main compression loop (hot) */
+void compress_stream(void) {
+    int prefix, c, code;
+    prefix = next_byte();
+    if (prefix == -1) fatal("empty input");
+    while ((c = next_byte()) != -1) {
+        code = find_code(prefix, c);
+        if (code != -1) {
+            prefix = code;
+        } else {
+            emit_code(prefix);
+            maybe_widen();
+            if (add_code(prefix, c) == -1) {
+                if (!ratio_ok()) reset_table();
+            }
+            prefix = c;
+        }
+    }
+    emit_code(prefix);
+    flush_bits();
+}
+
+/* 15: report statistics */
+void report(void) {
+    int pct = 0;
+    if (in_count > 0) pct = (out_count * 100) / in_count;
+    printf("in=%d out=%d ratio=%d%% codes=%d sum=%x\n",
+           in_count, out_count, pct, next_code, checksum);
+}
+
+/* 16: main */
+int main(void) {
+    in_count = 0;
+    out_count = 0;
+    bit_buffer = 0;
+    bit_pending = 0;
+    checksum = 0;
+    init_table();
+    compress_stream();
+    report();
+    return 0;
+}

@@ -1,0 +1,118 @@
+/* ear: a cochlear model in the spirit of the SPEC92 ear benchmark —
+ * "simulate sound processing in the ear". A cascade of second-order
+ * IIR band-pass filters (one per cochlear channel) processes a
+ * synthetic waveform; half-wave rectification and a hair-cell AGC
+ * stage follow, then per-channel energy is decimated and reported.
+ *
+ * Input: three integers — channels, samples, seed.
+ */
+
+#define MAXCH 24
+#define DECIM 32
+
+float b0[MAXCH], b1[MAXCH], b2[MAXCH];  /* filter coefficients */
+float a1[MAXCH], a2[MAXCH];
+float z1[MAXCH], z2[MAXCH];             /* filter state */
+float agc_state[MAXCH];
+float energy[MAXCH];
+int fired[MAXCH];
+
+int nch, nsamples, seed;
+
+void fatal(char *msg) {
+    printf("ear: %s\n", msg);
+    exit(1);
+}
+
+int read_int(void) {
+    int c, v = 0, seen = 0;
+    c = getchar();
+    while (c == ' ' || c == '\n' || c == '\t') c = getchar();
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        seen = 1;
+        c = getchar();
+    }
+    if (!seen) fatal("expected an integer");
+    return v;
+}
+
+float frand(void) {
+    seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+    return (float)(seed % 10000) / 10000.0;
+}
+
+/* design a resonator for each channel along the cochlea */
+void design_filters(void) {
+    int ch;
+    for (ch = 0; ch < nch; ch++) {
+        /* center frequency decreases along the cochlea */
+        float w = 0.2 + 2.4 * (float)ch / (float)nch;
+        float r = 0.88 + 0.1 * (float)ch / (float)nch;
+        a1[ch] = -2.0 * r * cos(w);
+        a2[ch] = r * r;
+        b0[ch] = (1.0 - r) * 1.2;
+        b1[ch] = 0.0;
+        b2[ch] = -(1.0 - r) * 1.2;
+        z1[ch] = 0.0;
+        z2[ch] = 0.0;
+        agc_state[ch] = 0.0;
+        energy[ch] = 0.0;
+        fired[ch] = 0;
+    }
+}
+
+/* the synthetic sound: two tones plus noise bursts */
+float next_sample(int t) {
+    float s = sin((float)t * 0.19) * 0.6 + sin((float)t * 0.61) * 0.3;
+    if ((t & 1023) < 40) s += (frand() - 0.5) * 1.5;   /* click */
+    return s;
+}
+
+/* one biquad step: the hot inner kernel, once per channel per sample */
+float filter_step(int ch, float x) {
+    float y = b0[ch] * x + z1[ch];
+    z1[ch] = b1[ch] * x - a1[ch] * y + z2[ch];
+    z2[ch] = b2[ch] * x - a2[ch] * y;
+    return y;
+}
+
+/* half-wave rectification plus automatic gain control */
+float hair_cell(int ch, float y) {
+    float rect = y > 0.0 ? y : 0.0;
+    agc_state[ch] = agc_state[ch] * 0.995 + rect * 0.005;
+    if (agc_state[ch] > 0.0001)
+        rect = rect / (1.0 + 4.0 * agc_state[ch]);
+    if (rect > 0.15) fired[ch]++;
+    return rect;
+}
+
+int main(void) {
+    int t, ch, frames = 0;
+    int peak_ch = 0, total_fired = 0;
+    float acc = 0.0;
+    nch = read_int();
+    nsamples = read_int();
+    seed = read_int();
+    if (nch < 2 || nch > MAXCH) fatal("bad channel count");
+    if (nsamples < DECIM || nsamples > 200000) fatal("bad sample count");
+    design_filters();
+    for (t = 0; t < nsamples; t++) {
+        float x = next_sample(t);
+        for (ch = 0; ch < nch; ch++) {
+            float y = filter_step(ch, x);
+            float r = hair_cell(ch, y);
+            energy[ch] += r * r;
+        }
+        if ((t + 1) % DECIM == 0) frames++;
+    }
+    for (ch = 0; ch < nch; ch++) {
+        acc += energy[ch];
+        total_fired += fired[ch];
+        if (energy[ch] > energy[peak_ch]) peak_ch = ch;
+    }
+    printf("channels=%d samples=%d frames=%d peak=%d fired=%d energy=%d\n",
+           nch, nsamples, frames, peak_ch, total_fired,
+           (int)(acc * 10.0));
+    return 0;
+}

@@ -1,0 +1,192 @@
+/* eqntott: translate boolean equations to a truth table, modeled on
+ * the SPEC92 eqntott benchmark. Parses an infix boolean expression
+ * (recursive descent), enumerates all input assignments, and sorts
+ * the resulting truth-table rows with a hand-written quicksort —
+ * eqntott famously spends most of its time comparing bit vectors in
+ * its sort.
+ */
+
+#define MAX_EXPR 256
+#define MAX_VARS 12
+#define MAX_ROWS 4096
+
+/* expression tree in arrays */
+#define OP_VAR 0
+#define OP_NOT 1
+#define OP_AND 2
+#define OP_OR  3
+#define OP_XOR 4
+
+int node_op[MAX_EXPR];
+int node_lhs[MAX_EXPR];
+int node_rhs[MAX_EXPR];
+int nnodes;
+
+int nvars;
+int var_used[MAX_VARS];
+
+int cur_char;
+
+int rows[MAX_ROWS];     /* (assignment << 1) | output */
+int nrows;
+
+void fatal(char *msg) {
+    printf("eqntott: %s\n", msg);
+    exit(1);
+}
+
+void advance(void) { cur_char = getchar(); }
+
+void skip_space(void) {
+    while (cur_char == ' ' || cur_char == '\n' || cur_char == '\t') advance();
+}
+
+int new_node(int op, int lhs, int rhs) {
+    if (nnodes >= MAX_EXPR) fatal("expression too large");
+    node_op[nnodes] = op;
+    node_lhs[nnodes] = lhs;
+    node_rhs[nnodes] = rhs;
+    nnodes++;
+    return nnodes - 1;
+}
+
+int parse_or(void);
+
+int parse_primary(void) {
+    int v;
+    skip_space();
+    if (cur_char == '(') {
+        advance();
+        v = parse_or();
+        skip_space();
+        if (cur_char != ')') fatal("expected )");
+        advance();
+        return v;
+    }
+    if (cur_char == '!') {
+        advance();
+        return new_node(OP_NOT, parse_primary(), 0);
+    }
+    if (cur_char >= 'a' && cur_char <= 'l') {
+        int idx = cur_char - 'a';
+        if (idx >= MAX_VARS) fatal("too many variables");
+        var_used[idx] = 1;
+        if (idx + 1 > nvars) nvars = idx + 1;
+        advance();
+        return new_node(OP_VAR, idx, 0);
+    }
+    fatal("bad token in expression");
+    return 0;
+}
+
+int parse_and(void) {
+    int lhs = parse_primary();
+    for (;;) {
+        skip_space();
+        if (cur_char == '&') {
+            advance();
+            lhs = new_node(OP_AND, lhs, parse_primary());
+        } else if (cur_char == '^') {
+            advance();
+            lhs = new_node(OP_XOR, lhs, parse_primary());
+        } else {
+            return lhs;
+        }
+    }
+}
+
+int parse_or(void) {
+    int lhs = parse_and();
+    for (;;) {
+        skip_space();
+        if (cur_char == '|') {
+            advance();
+            lhs = new_node(OP_OR, lhs, parse_and());
+        } else {
+            return lhs;
+        }
+    }
+}
+
+int eval_node(int n, int assignment) {
+    switch (node_op[n]) {
+        case OP_VAR: return (assignment >> node_lhs[n]) & 1;
+        case OP_NOT: return !eval_node(node_lhs[n], assignment);
+        case OP_AND: return eval_node(node_lhs[n], assignment) &&
+                            eval_node(node_rhs[n], assignment);
+        case OP_OR:  return eval_node(node_lhs[n], assignment) ||
+                            eval_node(node_rhs[n], assignment);
+        case OP_XOR: return eval_node(node_lhs[n], assignment) ^
+                            eval_node(node_rhs[n], assignment);
+    }
+    fatal("bad node");
+    return 0;
+}
+
+/* eqntott's hot spot: comparing rows. Ones count first (PLA ordering
+ * heuristic), then value. */
+int cmp_rows(int a, int b) {
+    int oa = a & 1, ob = b & 1;
+    int pa, pb, va, vb;
+    if (oa != ob) return ob - oa;   /* output-1 rows first */
+    va = a >> 1;
+    vb = b >> 1;
+    pa = 0; pb = 0;
+    while (va) { pa += va & 1; va >>= 1; }
+    while (vb) { pb += vb & 1; vb >>= 1; }
+    if (pa != pb) return pa - pb;
+    return (a >> 1) - (b >> 1);
+}
+
+void quicksort(int lo, int hi) {
+    int i, j, pivot, tmp;
+    if (lo >= hi) return;
+    pivot = rows[(lo + hi) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (cmp_rows(rows[i], pivot) < 0) i++;
+        while (cmp_rows(rows[j], pivot) > 0) j--;
+        if (i <= j) {
+            tmp = rows[i];
+            rows[i] = rows[j];
+            rows[j] = tmp;
+            i++;
+            j--;
+        }
+    }
+    quicksort(lo, j);
+    quicksort(i, hi);
+}
+
+int main(void) {
+    int root, a, out, ones = 0, checksum = 0, i;
+    int total;
+    nnodes = 0;
+    nvars = 0;
+    nrows = 0;
+    for (i = 0; i < MAX_VARS; i++) var_used[i] = 0;
+    advance();
+    root = parse_or();
+    skip_space();
+    if (cur_char != -1 && cur_char != ';') fatal("trailing input");
+
+    total = 1 << nvars;
+    if (total > MAX_ROWS) fatal("too many rows");
+    for (a = 0; a < total; a++) {
+        out = eval_node(root, a);
+        rows[nrows++] = (a << 1) | out;
+        if (out) ones++;
+    }
+    quicksort(0, nrows - 1);
+    for (i = 0; i < nrows; i++)
+        checksum = (checksum * 31 + rows[i]) & 0xFFFFFF;
+    printf("vars=%d rows=%d ones=%d sum=%x\n", nvars, nrows, ones, checksum);
+    /* print the first few sorted rows PLA-style */
+    for (i = 0; i < nrows && i < 8; i++) {
+        int v = rows[i] >> 1, b;
+        for (b = nvars - 1; b >= 0; b--) putchar((v >> b) & 1 ? '1' : '0');
+        printf(" %d\n", rows[i] & 1);
+    }
+    return 0;
+}

@@ -1,0 +1,193 @@
+/* espresso: two-level boolean function minimization, modeled on the
+ * SPEC92 espresso benchmark. Reads a list of minterms for an n-input
+ * single-output function, computes prime implicants Quine–McCluskey
+ * style (cube merging with don't-care masks), and selects a cover
+ * greedily. The merge loops are quadratic in the cube count — the
+ * program's hot region, like espresso's cube operations.
+ */
+
+#define MAX_CUBES 8000
+#define MAX_MINTERMS 4096
+
+int cube_val[MAX_CUBES];
+int cube_mask[MAX_CUBES];   /* 1 bits = don't care */
+int cube_merged[MAX_CUBES];
+int ncubes;
+
+int minterms[MAX_MINTERMS];
+int nminterms;
+int nvars;
+
+int primes_val[MAX_CUBES];
+int primes_mask[MAX_CUBES];
+int nprimes;
+
+int chosen[MAX_CUBES];
+int nchosen;
+
+void fatal(char *msg) {
+    printf("espresso: %s\n", msg);
+    exit(1);
+}
+
+int popcount(int v) {
+    int n = 0;
+    while (v) {
+        n += v & 1;
+        v >>= 1;
+    }
+    return n;
+}
+
+int read_int(void) {
+    int c, v = 0, seen = 0;
+    c = getchar();
+    while (c == ' ' || c == '\n' || c == '\t' || c == ',') c = getchar();
+    if (c == -1) return -1;
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        seen = 1;
+        c = getchar();
+    }
+    if (!seen) return -1;
+    return v;
+}
+
+void read_input(void) {
+    int v;
+    nvars = read_int();
+    if (nvars < 1 || nvars > 14) fatal("bad variable count");
+    nminterms = 0;
+    while ((v = read_int()) >= 0) {
+        if (v >= (1 << nvars)) fatal("minterm out of range");
+        if (nminterms >= MAX_MINTERMS) fatal("too many minterms");
+        minterms[nminterms++] = v;
+    }
+    if (nminterms == 0) fatal("no minterms");
+}
+
+int cube_exists(int val, int mask, int upto) {
+    int i;
+    for (i = 0; i < upto; i++)
+        if (cube_val[i] == val && cube_mask[i] == mask) return 1;
+    return 0;
+}
+
+void add_prime(int val, int mask) {
+    int i;
+    for (i = 0; i < nprimes; i++)
+        if (primes_val[i] == val && primes_mask[i] == mask) return;
+    if (nprimes >= MAX_CUBES) fatal("too many primes");
+    primes_val[nprimes] = val;
+    primes_mask[nprimes] = mask;
+    nprimes++;
+}
+
+/* One round of pairwise merging; returns the number of new cubes. */
+int merge_round(int lo, int hi) {
+    int i, j, added = 0;
+    for (i = lo; i < hi; i++) {
+        for (j = i + 1; j < hi; j++) {
+            int diff;
+            if (cube_mask[i] != cube_mask[j]) continue;
+            diff = cube_val[i] ^ cube_val[j];
+            if (popcount(diff) != 1) continue;
+            cube_merged[i] = 1;
+            cube_merged[j] = 1;
+            if (!cube_exists(cube_val[i] & ~diff, cube_mask[i] | diff, ncubes)) {
+                if (ncubes >= MAX_CUBES) fatal("cube table full");
+                cube_val[ncubes] = cube_val[i] & ~diff;
+                cube_mask[ncubes] = cube_mask[i] | diff;
+                cube_merged[ncubes] = 0;
+                ncubes++;
+                added++;
+            }
+        }
+    }
+    return added;
+}
+
+void compute_primes(void) {
+    int i, lo = 0, hi;
+    ncubes = 0;
+    for (i = 0; i < nminterms; i++) {
+        if (!cube_exists(minterms[i], 0, ncubes)) {
+            cube_val[ncubes] = minterms[i];
+            cube_mask[ncubes] = 0;
+            cube_merged[ncubes] = 0;
+            ncubes++;
+        }
+    }
+    hi = ncubes;
+    while (lo < hi) {
+        int added = merge_round(lo, hi);
+        for (i = lo; i < hi; i++)
+            if (!cube_merged[i]) add_prime(cube_val[i], cube_mask[i]);
+        lo = hi;
+        hi = ncubes;
+        if (added == 0) break;
+    }
+    for (i = lo; i < hi; i++)
+        if (!cube_merged[i]) add_prime(cube_val[i], cube_mask[i]);
+}
+
+int covers(int p, int minterm) {
+    return (minterm & ~primes_mask[p]) == (primes_val[p] & ~primes_mask[p]);
+}
+
+void select_cover(void) {
+    int covered[MAX_MINTERMS];
+    int i, p, remaining = nminterms;
+    for (i = 0; i < nminterms; i++) covered[i] = 0;
+    nchosen = 0;
+    while (remaining > 0) {
+        int best = -1, best_count = 0;
+        for (p = 0; p < nprimes; p++) {
+            int count = 0;
+            for (i = 0; i < nminterms; i++)
+                if (!covered[i] && covers(p, minterms[i])) count++;
+            if (count > best_count) {
+                best_count = count;
+                best = p;
+            }
+        }
+        if (best < 0) fatal("cover failure");
+        chosen[nchosen++] = best;
+        for (i = 0; i < nminterms; i++)
+            if (!covered[i] && covers(best, minterms[i])) {
+                covered[i] = 1;
+                remaining--;
+            }
+    }
+}
+
+int count_literals(void) {
+    int i, lits = 0;
+    for (i = 0; i < nchosen; i++)
+        lits += nvars - popcount(primes_mask[chosen[i]]);
+    return lits;
+}
+
+void print_cover(void) {
+    int i, b;
+    for (i = 0; i < nchosen; i++) {
+        int p = chosen[i];
+        for (b = nvars - 1; b >= 0; b--) {
+            if (primes_mask[p] & (1 << b)) putchar('-');
+            else if (primes_val[p] & (1 << b)) putchar('1');
+            else putchar('0');
+        }
+        putchar('\n');
+    }
+}
+
+int main(void) {
+    read_input();
+    nprimes = 0;
+    compute_primes();
+    select_cover();
+    printf("vars=%d minterms=%d primes=%d cover=%d literals=%d\n",
+           nvars, nminterms, nprimes, nchosen, count_literals());
+    print_cover();
+    return 0;
+}

@@ -1,0 +1,423 @@
+/* gs: a PostScript-flavoured stack-machine interpreter in the spirit
+ * of Ghostscript. Like the real gs — where "some 650 functions (about
+ * half the functions in the program) are referenced indirectly" — the
+ * majority of this program's functions are operators reached only
+ * through the dispatch table, which defeats static call-graph
+ * analysis (§5.2.1 calls this case out explicitly).
+ */
+
+#define STACK_MAX 256
+#define DICT_MAX  128
+#define NAMELEN   12
+#define NOPS      40
+#define PATH_MAX  512
+
+int stack[STACK_MAX];
+int sp;
+
+char dict_name[DICT_MAX][NAMELEN];
+int dict_value[DICT_MAX];
+int dict_count;
+
+/* a toy graphics state */
+int cur_x, cur_y;
+int path_x[PATH_MAX], path_y[PATH_MAX];
+int path_len;
+int gray;
+int pixels_drawn;
+int bbox_x0, bbox_y0, bbox_x1, bbox_y1;
+
+int cur_char;
+int op_executed;
+
+void fatal(char *msg) {
+    printf("gs: error: %s\n", msg);
+    exit(1);
+}
+
+void push(int v) {
+    if (sp >= STACK_MAX) fatal("stack overflow");
+    stack[sp++] = v;
+}
+
+int pop(void) {
+    if (sp <= 0) fatal("stack underflow");
+    return stack[--sp];
+}
+
+/* ---- operators (all called through op_table) ---- */
+
+void op_add(void) { int b = pop(); push(pop() + b); }
+void op_sub(void) { int b = pop(); push(pop() - b); }
+void op_mul(void) { int b = pop(); push(pop() * b); }
+void op_div(void) {
+    int b = pop();
+    if (b == 0) fatal("division by zero");
+    push(pop() / b);
+}
+void op_mod(void) {
+    int b = pop();
+    if (b == 0) fatal("division by zero");
+    push(pop() % b);
+}
+void op_neg(void) { push(-pop()); }
+void op_abs(void) { int v = pop(); push(v < 0 ? -v : v); }
+void op_dup(void) { int v = pop(); push(v); push(v); }
+void op_pop(void) { pop(); }
+void op_exch(void) { int b = pop(), a = pop(); push(b); push(a); }
+void op_copy(void) {
+    int n = pop(), i;
+    if (n < 0 || n > sp) fatal("bad copy count");
+    for (i = 0; i < n; i++) push(stack[sp - n]);
+}
+void op_index(void) {
+    int n = pop();
+    if (n < 0 || n >= sp) fatal("bad index");
+    push(stack[sp - 1 - n]);
+}
+void op_roll(void) {
+    int j = pop(), n = pop(), i, tmp;
+    if (n <= 0 || n > sp) fatal("bad roll");
+    while (j < 0) j += n;
+    for (i = 0; i < j; i++) {
+        tmp = stack[sp - 1];
+        int k;
+        for (k = sp - 1; k > sp - n; k--) stack[k] = stack[k - 1];
+        stack[sp - n] = tmp;
+    }
+}
+void op_eq(void)  { int b = pop(); push(pop() == b); }
+void op_ne(void)  { int b = pop(); push(pop() != b); }
+void op_lt(void)  { int b = pop(); push(pop() < b); }
+void op_gt(void)  { int b = pop(); push(pop() > b); }
+void op_le(void)  { int b = pop(); push(pop() <= b); }
+void op_ge(void)  { int b = pop(); push(pop() >= b); }
+void op_and(void) { int b = pop(); push(pop() & b); }
+void op_or(void)  { int b = pop(); push(pop() | b); }
+void op_xor(void) { int b = pop(); push(pop() ^ b); }
+void op_not(void) { push(!pop()); }
+
+void extend_bbox(int x, int y) {
+    if (x < bbox_x0) bbox_x0 = x;
+    if (y < bbox_y0) bbox_y0 = y;
+    if (x > bbox_x1) bbox_x1 = x;
+    if (y > bbox_y1) bbox_y1 = y;
+}
+
+void op_moveto(void) {
+    cur_y = pop();
+    cur_x = pop();
+    extend_bbox(cur_x, cur_y);
+}
+
+void add_path_point(int x, int y) {
+    if (path_len < PATH_MAX) {
+        path_x[path_len] = x;
+        path_y[path_len] = y;
+        path_len++;
+    }
+    extend_bbox(x, y);
+}
+
+/* Bresenham-ish rasterizer: the hot inner loop of "rendering". */
+void draw_line(int x0, int y0, int x1, int y1) {
+    int dx = x1 - x0, dy = y1 - y0, steps, i;
+    int ax = dx < 0 ? -dx : dx;
+    int ay = dy < 0 ? -dy : dy;
+    steps = ax > ay ? ax : ay;
+    if (steps == 0) steps = 1;
+    for (i = 0; i <= steps; i++) {
+        int px = x0 + (dx * i) / steps;
+        int py = y0 + (dy * i) / steps;
+        pixels_drawn += (gray > 0);
+        extend_bbox(px, py);
+    }
+}
+
+void op_lineto(void) {
+    int y = pop(), x = pop();
+    add_path_point(cur_x, cur_y);
+    add_path_point(x, y);
+    draw_line(cur_x, cur_y, x, y);
+    cur_x = x;
+    cur_y = y;
+}
+
+void op_rlineto(void) {
+    int dy = pop(), dx = pop();
+    push(cur_x + dx);
+    push(cur_y + dy);
+    op_lineto();
+}
+
+void op_closepath(void) {
+    if (path_len >= 2)
+        draw_line(cur_x, cur_y, path_x[0], path_y[0]);
+    path_len = 0;
+}
+
+void op_newpath(void) { path_len = 0; }
+
+void op_setgray(void) { gray = pop(); }
+
+void op_box(void) {
+    int h = pop(), w = pop();
+    push(cur_x + w); push(cur_y); op_lineto();
+    push(cur_x); push(cur_y + h); op_lineto();
+    push(cur_x - w); push(cur_y); op_lineto();
+    op_closepath();
+}
+
+void op_circle(void) {
+    /* integer "circle": 16-gon via table-free arithmetic */
+    int r = pop(), i;
+    int px = cur_x + r, py = cur_y;
+    for (i = 1; i <= 16; i++) {
+        /* crude cos/sin via quadratic approximation on a diamond */
+        int a = (i * 4) / 16;      /* quadrant 0..3 */
+        int t = (i * 4) % 16;
+        int nx, ny;
+        if (a == 0)      { nx = cur_x + r - (r * t) / 16; ny = cur_y + (r * t) / 16; }
+        else if (a == 1) { nx = cur_x - (r * t) / 16;     ny = cur_y + r - (r * t) / 16; }
+        else if (a == 2) { nx = cur_x - r + (r * t) / 16; ny = cur_y - (r * t) / 16; }
+        else             { nx = cur_x + (r * t) / 16;     ny = cur_y - r + (r * t) / 16; }
+        draw_line(px, py, nx, ny);
+        px = nx;
+        py = ny;
+    }
+}
+
+void op_stroke(void) {
+    /* account the path as drawn */
+    pixels_drawn += path_len;
+    path_len = 0;
+}
+
+void op_fill(void) {
+    int area = (bbox_x1 - bbox_x0) * (bbox_y1 - bbox_y0);
+    if (area < 0) area = -area;
+    pixels_drawn += area / 4;
+    path_len = 0;
+}
+
+void op_translate(void) {
+    int dy = pop(), dx = pop();
+    cur_x += dx;
+    cur_y += dy;
+}
+
+void op_def(void) {
+    /* name value def — names are pushed as dict indexes by the reader */
+    int value = pop(), name = pop();
+    if (name < 0 || name >= dict_count) fatal("bad name for def");
+    dict_value[name] = value;
+}
+
+void op_load(void) {
+    int name = pop();
+    if (name < 0 || name >= dict_count) fatal("bad name for load");
+    push(dict_value[name]);
+}
+
+void op_print(void) { printf("%d\n", pop()); }
+void op_pstack(void) {
+    int i;
+    for (i = sp - 1; i >= 0; i--) printf("| %d\n", stack[i]);
+}
+void op_clear(void) { sp = 0; }
+void op_count(void) { push(sp); }
+
+/* ---- dispatch ---- */
+
+char op_name[NOPS][NAMELEN];
+void (*op_table[NOPS])(void);
+int op_count_registered;
+
+void defop(char *name, void (*fn)(void)) {
+    if (op_count_registered >= NOPS) fatal("too many operators");
+    strcpy(op_name[op_count_registered], name);
+    op_table[op_count_registered] = fn;
+    op_count_registered++;
+}
+
+int lookup_op(char *name) {
+    int i;
+    for (i = 0; i < op_count_registered; i++)
+        if (strcmp(op_name[i], name) == 0) return i;
+    return -1;
+}
+
+int lookup_dict(char *name) {
+    int i;
+    for (i = 0; i < dict_count; i++)
+        if (strcmp(dict_name[i], name) == 0) return i;
+    if (dict_count >= DICT_MAX) fatal("dict full");
+    strcpy(dict_name[dict_count], name);
+    dict_value[dict_count] = 0;
+    dict_count++;
+    return dict_count - 1;
+}
+
+void register_ops(void) {
+    defop("add", op_add);
+    defop("sub", op_sub);
+    defop("mul", op_mul);
+    defop("div", op_div);
+    defop("mod", op_mod);
+    defop("neg", op_neg);
+    defop("abs", op_abs);
+    defop("dup", op_dup);
+    defop("pop", op_pop);
+    defop("exch", op_exch);
+    defop("copy", op_copy);
+    defop("index", op_index);
+    defop("roll", op_roll);
+    defop("eq", op_eq);
+    defop("ne", op_ne);
+    defop("lt", op_lt);
+    defop("gt", op_gt);
+    defop("le", op_le);
+    defop("ge", op_ge);
+    defop("and", op_and);
+    defop("or", op_or);
+    defop("xor", op_xor);
+    defop("not", op_not);
+    defop("moveto", op_moveto);
+    defop("lineto", op_lineto);
+    defop("rlineto", op_rlineto);
+    defop("closepath", op_closepath);
+    defop("newpath", op_newpath);
+    defop("setgray", op_setgray);
+    defop("box", op_box);
+    defop("circle", op_circle);
+    defop("stroke", op_stroke);
+    defop("fill", op_fill);
+    defop("translate", op_translate);
+    defop("def", op_def);
+    defop("load", op_load);
+    defop("print", op_print);
+    defop("pstack", op_pstack);
+    defop("clear", op_clear);
+    defop("count", op_count);
+}
+
+/* ---- scanner / main loop ---- */
+
+void advance(void) { cur_char = getchar(); }
+
+void skip_space(void) {
+    while (cur_char == ' ' || cur_char == '\n' || cur_char == '\t' ||
+           cur_char == '%') {
+        if (cur_char == '%') {
+            while (cur_char != -1 && cur_char != '\n') advance();
+        } else {
+            advance();
+        }
+    }
+}
+
+/* `repeat` blocks: { ... } with a count. We remember block text
+ * positions by buffering tokens of the block. */
+#define BLOCK_MAX 64
+#define BLOCK_TOKENS 128
+char block_tok[BLOCK_MAX][BLOCK_TOKENS][NAMELEN];
+int block_ntok[BLOCK_MAX];
+int block_count;
+
+void exec_token(char *tok);
+
+void exec_block(int b, int times) {
+    int i, t;
+    for (t = 0; t < times; t++)
+        for (i = 0; i < block_ntok[b]; i++)
+            exec_token(block_tok[b][i]);
+}
+
+int is_number(char *tok) {
+    int i = 0;
+    if (tok[i] == '-') i++;
+    if (tok[i] == '\0') return 0;
+    while (tok[i] != '\0') {
+        if (tok[i] < '0' || tok[i] > '9') return 0;
+        i++;
+    }
+    return 1;
+}
+
+void exec_token(char *tok) {
+    int op;
+    op_executed++;
+    if (is_number(tok)) {
+        push(atoi(tok));
+        return;
+    }
+    if (tok[0] == '/') {
+        push(lookup_dict(tok + 1));
+        return;
+    }
+    if (strcmp(tok, "repeat") == 0) {
+        int b = pop(), times = pop();
+        if (b < 0 || b >= block_count) fatal("bad block");
+        exec_block(b, times);
+        return;
+    }
+    op = lookup_op(tok);
+    if (op >= 0) {
+        op_table[op]();
+        return;
+    }
+    /* bare name: load from dict */
+    push(dict_value[lookup_dict(tok)]);
+}
+
+int read_token(char *buf) {
+    int i = 0;
+    skip_space();
+    if (cur_char == -1) return 0;
+    while (cur_char != -1 && cur_char != ' ' && cur_char != '\n' &&
+           cur_char != '\t') {
+        if (i < NAMELEN - 1) buf[i++] = cur_char;
+        advance();
+    }
+    buf[i] = '\0';
+    return 1;
+}
+
+int main(void) {
+    char tok[NAMELEN];
+    sp = 0;
+    dict_count = 0;
+    block_count = 0;
+    op_count_registered = 0;
+    cur_x = 0; cur_y = 0;
+    path_len = 0;
+    gray = 1;
+    pixels_drawn = 0;
+    op_executed = 0;
+    bbox_x0 = 999999; bbox_y0 = 999999;
+    bbox_x1 = -999999; bbox_y1 = -999999;
+    register_ops();
+    advance();
+    while (read_token(tok)) {
+        if (strcmp(tok, "{") == 0) {
+            /* collect a block */
+            int b = block_count, n = 0;
+            if (block_count >= BLOCK_MAX) fatal("too many blocks");
+            block_count++;
+            for (;;) {
+                if (!read_token(tok)) fatal("unterminated block");
+                if (strcmp(tok, "}") == 0) break;
+                if (n >= BLOCK_TOKENS) fatal("block too long");
+                strcpy(block_tok[b][n], tok);
+                n++;
+            }
+            block_ntok[b] = n;
+            push(b);
+        } else {
+            exec_token(tok);
+        }
+    }
+    printf("ops=%d pixels=%d bbox=%d %d %d %d\n",
+           op_executed, pixels_drawn, bbox_x0, bbox_y0, bbox_x1, bbox_y1);
+    return 0;
+}

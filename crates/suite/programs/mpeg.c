@@ -1,0 +1,181 @@
+/* mpeg: the decode kernels of an MPEG player — inverse DCT on 8×8
+ * blocks, dequantization, motion compensation against a reference
+ * frame, and PSNR-style accounting. All integer arithmetic, organized
+ * exactly like the per-macroblock loops of a real decoder.
+ *
+ * Input: four integers — width_blocks, height_blocks, frames, seed.
+ */
+
+#define MAXW 16
+#define MAXH 16
+#define FRAME_MAX (MAXW * 8 * MAXH * 8)
+
+int frame[FRAME_MAX];
+int ref_frame[FRAME_MAX];
+int coeff[64];
+int block[64];
+int quant[64];
+
+int wb, hb, nframes, seed;
+int width;          /* pixels */
+int total_sad;
+int total_energy;
+int blocks_decoded;
+
+void fatal(char *msg) {
+    printf("mpeg: %s\n", msg);
+    exit(1);
+}
+
+int read_int(void) {
+    int c, v = 0, seen = 0;
+    c = getchar();
+    while (c == ' ' || c == '\n' || c == '\t') c = getchar();
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        seen = 1;
+        c = getchar();
+    }
+    if (!seen) fatal("expected an integer");
+    return v;
+}
+
+int next_rand(void) {
+    seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+    return seed;
+}
+
+void init_quant(void) {
+    int i;
+    for (i = 0; i < 64; i++)
+        quant[i] = 8 + (i / 8) + (i % 8);
+}
+
+/* fake bitstream: random sparse coefficients */
+void read_coefficients(void) {
+    int i, nzc;
+    for (i = 0; i < 64; i++) coeff[i] = 0;
+    coeff[0] = next_rand() % 256 - 128;     /* DC */
+    nzc = next_rand() % 10;
+    for (i = 0; i < nzc; i++) {
+        int pos = next_rand() % 63 + 1;
+        coeff[pos] = next_rand() % 32 - 16;
+    }
+}
+
+void dequantize(void) {
+    int i;
+    for (i = 0; i < 64; i++)
+        block[i] = coeff[i] * quant[i];
+}
+
+/* integer 8-point butterfly, applied to rows then columns: the hot
+ * kernel of the decoder */
+void idct_1d(int *v, int stride) {
+    int s07 = v[0] + v[7 * stride], d07 = v[0] - v[7 * stride];
+    int s16 = v[stride] + v[6 * stride], d16 = v[stride] - v[6 * stride];
+    int s25 = v[2 * stride] + v[5 * stride], d25 = v[2 * stride] - v[5 * stride];
+    int s34 = v[3 * stride] + v[4 * stride], d34 = v[3 * stride] - v[4 * stride];
+    v[0] = (s07 + s16 + s25 + s34) >> 2;
+    v[stride] = (d07 * 3 + d16 + d25 - d34) >> 2;
+    v[2 * stride] = (s07 - s16 + s25 - s34) >> 2;
+    v[3 * stride] = (d07 - d16 + d25 * 3 + d34) >> 2;
+    v[4 * stride] = (s07 + s16 - s25 - s34) >> 2;
+    v[5 * stride] = (d07 + d16 * 3 - d25 - d34) >> 2;
+    v[6 * stride] = (s07 - s16 - s25 + s34) >> 2;
+    v[7 * stride] = (d07 - d16 + d25 - d34 * 3) >> 2;
+}
+
+void idct_block(void) {
+    int i;
+    for (i = 0; i < 8; i++)
+        idct_1d(block + i * 8, 1);       /* rows */
+    for (i = 0; i < 8; i++)
+        idct_1d(block + i, 8);           /* columns */
+}
+
+int clamp_pixel(int v) {
+    if (v < 0) return 0;
+    if (v > 255) return 255;
+    return v;
+}
+
+/* copy the predicted block from the reference frame at (bx,by) with a
+ * small motion vector, add the residual, clamp */
+void motion_compensate(int bx, int by, int mvx, int mvy) {
+    int x0 = bx * 8, y0 = by * 8, r, c;
+    for (r = 0; r < 8; r++) {
+        for (c = 0; c < 8; c++) {
+            int sx = x0 + c + mvx, sy = y0 + r + mvy;
+            int pred;
+            if (sx < 0) sx = 0;
+            if (sy < 0) sy = 0;
+            if (sx >= width) sx = width - 1;
+            if (sy >= hb * 8) sy = hb * 8 - 1;
+            pred = ref_frame[sy * width + sx];
+            frame[(y0 + r) * width + x0 + c] =
+                clamp_pixel(pred + block[r * 8 + c]);
+        }
+    }
+}
+
+/* sum of absolute differences between the two frames (quality stat) */
+int frame_sad(void) {
+    int i, s = 0, d;
+    for (i = 0; i < width * hb * 8; i++) {
+        d = frame[i] - ref_frame[i];
+        s += d < 0 ? -d : d;
+    }
+    return s;
+}
+
+void decode_frame(void) {
+    int bx, by, mvx, mvy;
+    for (by = 0; by < hb; by++) {
+        for (bx = 0; bx < wb; bx++) {
+            read_coefficients();
+            dequantize();
+            idct_block();
+            mvx = next_rand() % 5 - 2;
+            mvy = next_rand() % 5 - 2;
+            motion_compensate(bx, by, mvx, mvy);
+            blocks_decoded++;
+        }
+    }
+}
+
+void swap_frames(void) {
+    int i;
+    for (i = 0; i < width * hb * 8; i++) {
+        ref_frame[i] = frame[i];
+    }
+}
+
+int main(void) {
+    int f, i;
+    wb = read_int();
+    hb = read_int();
+    nframes = read_int();
+    seed = read_int();
+    if (wb < 1 || wb > MAXW || hb < 1 || hb > MAXH) fatal("bad dimensions");
+    if (nframes < 1 || nframes > 64) fatal("bad frame count");
+    width = wb * 8;
+    init_quant();
+    total_sad = 0;
+    total_energy = 0;
+    blocks_decoded = 0;
+    for (i = 0; i < width * hb * 8; i++) {
+        ref_frame[i] = 128;
+        frame[i] = 128;
+    }
+    for (f = 0; f < nframes; f++) {
+        decode_frame();
+        total_sad += frame_sad() / (width * hb * 8);
+        swap_frames();
+    }
+    for (i = 0; i < width * hb * 8; i++)
+        total_energy += frame[i];
+    printf("blocks=%d avg_sad=%d energy=%d\n",
+           blocks_decoded, total_sad / nframes, total_energy & 0xFFFFFF);
+    return 0;
+}

@@ -1,0 +1,304 @@
+/* sc: a spreadsheet calculator modeled on the Unix sc benchmark.
+ * Reads cell definitions like `A1 = 5`, `B2 = A1 + 3 * C1`, or
+ * `C3 = SUM(A1:B4)`, then iteratively evaluates the sheet to a fixed
+ * point (natural-order recalculation, as early spreadsheets did),
+ * and prints a summary. Cells form a dependency graph; the evaluator
+ * is the hot loop.
+ */
+
+#define COLS 8
+#define ROWS 64
+#define NCELLS 512
+#define MAX_FORM 4000
+
+/* formula opcodes, stored postfix per cell */
+#define F_END   0
+#define F_NUM   1
+#define F_CELL  2
+#define F_ADD   3
+#define F_SUB   4
+#define F_MUL   5
+#define F_DIV   6
+#define F_SUM   7   /* arg: packed range */
+#define F_MIN   8
+#define F_MAX   9
+#define F_CNT   10
+
+int form_op[MAX_FORM];
+int form_arg[MAX_FORM];
+int nform;
+
+int cell_form[NCELLS];   /* start index into form arrays, -1 = empty */
+int cell_value[NCELLS];
+int cell_err[NCELLS];
+
+int cur_char;
+int defined_cells;
+int eval_passes;
+int cells_evaluated;
+
+void fatal(char *msg) {
+    printf("sc: %s\n", msg);
+    exit(1);
+}
+
+void advance(void) { cur_char = getchar(); }
+
+void skip_ws(void) {
+    while (cur_char == ' ' || cur_char == '\t') advance();
+}
+
+int cell_index(int col, int row) { return row * COLS + col; }
+
+/* parse `A12` -> cell index, or -1 */
+int parse_cellref(void) {
+    int col, row = 0;
+    skip_ws();
+    if (cur_char < 'A' || cur_char >= 'A' + COLS) return -1;
+    col = cur_char - 'A';
+    advance();
+    if (cur_char < '0' || cur_char > '9') fatal("bad cell row");
+    while (cur_char >= '0' && cur_char <= '9') {
+        row = row * 10 + (cur_char - '0');
+        advance();
+    }
+    if (row < 1 || row > ROWS) fatal("row out of range");
+    return cell_index(col, row - 1);
+}
+
+void emit_form(int op, int arg) {
+    if (nform >= MAX_FORM) fatal("formula space exhausted");
+    form_op[nform] = op;
+    form_arg[nform] = arg;
+    nform++;
+}
+
+void parse_expr(void);
+
+void parse_primary(void) {
+    skip_ws();
+    if (cur_char >= '0' && cur_char <= '9') {
+        int v = 0;
+        while (cur_char >= '0' && cur_char <= '9') {
+            v = v * 10 + (cur_char - '0');
+            advance();
+        }
+        emit_form(F_NUM, v);
+        return;
+    }
+    if (cur_char == '(') {
+        advance();
+        parse_expr();
+        skip_ws();
+        if (cur_char != ')') fatal("expected )");
+        advance();
+        return;
+    }
+    if (cur_char == '-') {
+        advance();
+        emit_form(F_NUM, 0);
+        parse_primary();
+        emit_form(F_SUB, 0);
+        return;
+    }
+    /* SUM( / MIN( / MAX( / COUNT( or a cell ref */
+    if (cur_char >= 'A' && cur_char <= 'Z') {
+        /* peek a word */
+        char word[8];
+        int i = 0;
+        while (cur_char >= 'A' && cur_char <= 'Z' && i < 7) {
+            word[i++] = cur_char;
+            advance();
+        }
+        word[i] = '\0';
+        if (cur_char == '(') {
+            int a, b, op;
+            if (strcmp(word, "SUM") == 0) op = F_SUM;
+            else if (strcmp(word, "MIN") == 0) op = F_MIN;
+            else if (strcmp(word, "MAX") == 0) op = F_MAX;
+            else if (strcmp(word, "COUNT") == 0) op = F_CNT;
+            else { fatal("unknown function"); op = 0; }
+            advance();
+            a = parse_cellref();
+            skip_ws();
+            if (cur_char != ':') fatal("expected :");
+            advance();
+            b = parse_cellref();
+            skip_ws();
+            if (cur_char != ')') fatal("expected )");
+            advance();
+            if (a < 0 || b < 0) fatal("bad range");
+            emit_form(op, a * NCELLS + b);
+            return;
+        }
+        /* a cell reference: word holds the column letter(s), cur_char
+         * should be a digit — reparse: single letter only */
+        if (i == 1 && cur_char >= '0' && cur_char <= '9') {
+            int col = word[0] - 'A', row = 0;
+            if (col >= COLS) fatal("column out of range");
+            while (cur_char >= '0' && cur_char <= '9') {
+                row = row * 10 + (cur_char - '0');
+                advance();
+            }
+            if (row < 1 || row > ROWS) fatal("row out of range");
+            emit_form(F_CELL, cell_index(col, row - 1));
+            return;
+        }
+        fatal("bad reference");
+    }
+    fatal("bad expression");
+}
+
+void parse_term(void) {
+    parse_primary();
+    for (;;) {
+        skip_ws();
+        if (cur_char == '*') {
+            advance();
+            parse_primary();
+            emit_form(F_MUL, 0);
+        } else if (cur_char == '/') {
+            advance();
+            parse_primary();
+            emit_form(F_DIV, 0);
+        } else {
+            return;
+        }
+    }
+}
+
+void parse_expr(void) {
+    parse_term();
+    for (;;) {
+        skip_ws();
+        if (cur_char == '+') {
+            advance();
+            parse_term();
+            emit_form(F_ADD, 0);
+        } else if (cur_char == '-') {
+            advance();
+            parse_term();
+            emit_form(F_SUB, 0);
+        } else {
+            return;
+        }
+    }
+}
+
+/* evaluate one cell's formula; returns 1 if its value changed */
+int eval_cell(int c) {
+    int stack[64];
+    int sp = 0, pc = cell_form[c], old = cell_value[c];
+    int a, b, i, lo, hi, acc, count;
+    if (pc < 0) return 0;
+    cells_evaluated++;
+    while (form_op[pc] != F_END) {
+        switch (form_op[pc]) {
+            case F_NUM:
+                stack[sp++] = form_arg[pc];
+                break;
+            case F_CELL:
+                stack[sp++] = cell_value[form_arg[pc]];
+                break;
+            case F_ADD: b = stack[--sp]; stack[sp - 1] += b; break;
+            case F_SUB: b = stack[--sp]; stack[sp - 1] -= b; break;
+            case F_MUL: b = stack[--sp]; stack[sp - 1] *= b; break;
+            case F_DIV:
+                b = stack[--sp];
+                if (b == 0) { cell_err[c] = 1; b = 1; }
+                stack[sp - 1] /= b;
+                break;
+            case F_SUM:
+            case F_MIN:
+            case F_MAX:
+            case F_CNT:
+                lo = form_arg[pc] / NCELLS;
+                hi = form_arg[pc] % NCELLS;
+                acc = form_op[pc] == F_MIN ? 999999999 :
+                      (form_op[pc] == F_MAX ? -999999999 : 0);
+                count = 0;
+                {
+                    /* rectangular range: iterate rows and columns */
+                    int c0 = lo % COLS, r0 = lo / COLS;
+                    int c1 = hi % COLS, r1 = hi / COLS;
+                    int rr, cc2;
+                    if (c1 < c0) { int t = c0; c0 = c1; c1 = t; }
+                    if (r1 < r0) { int t = r0; r0 = r1; r1 = t; }
+                    for (rr = r0; rr <= r1; rr++) {
+                        for (cc2 = c0; cc2 <= c1; cc2++) {
+                            i = cell_index(cc2, rr);
+                            if (cell_form[i] < 0) continue;
+                            count++;
+                            if (form_op[pc] == F_SUM) acc += cell_value[i];
+                            else if (form_op[pc] == F_MIN) {
+                                if (cell_value[i] < acc) acc = cell_value[i];
+                            } else if (form_op[pc] == F_MAX) {
+                                if (cell_value[i] > acc) acc = cell_value[i];
+                            }
+                        }
+                    }
+                }
+                stack[sp++] = form_op[pc] == F_CNT ? count : acc;
+                break;
+            default:
+                fatal("bad formula op");
+        }
+        if (sp <= 0 || sp >= 64) fatal("formula stack error");
+        pc++;
+    }
+    cell_value[c] = stack[0];
+    return cell_value[c] != old;
+}
+
+void recalc(void) {
+    int changed = 1, c;
+    eval_passes = 0;
+    while (changed && eval_passes < 50) {
+        changed = 0;
+        eval_passes++;
+        for (c = 0; c < NCELLS; c++)
+            if (eval_cell(c)) changed = 1;
+    }
+}
+
+int main(void) {
+    int c, total = 0, errs = 0, nonzero = 0;
+    for (c = 0; c < NCELLS; c++) {
+        cell_form[c] = -1;
+        cell_value[c] = 0;
+        cell_err[c] = 0;
+    }
+    nform = 0;
+    defined_cells = 0;
+    cells_evaluated = 0;
+    advance();
+    for (;;) {
+        int target;
+        skip_ws();
+        while (cur_char == '\n') { advance(); skip_ws(); }
+        if (cur_char == -1) break;
+        target = parse_cellref();
+        if (target < 0) fatal("expected a cell");
+        skip_ws();
+        if (cur_char != '=') fatal("expected =");
+        advance();
+        cell_form[target] = nform;
+        parse_expr();
+        emit_form(F_END, 0);
+        defined_cells++;
+        skip_ws();
+        if (cur_char == '\n') advance();
+        else if (cur_char != -1) fatal("trailing input on line");
+    }
+    recalc();
+    for (c = 0; c < NCELLS; c++) {
+        if (cell_form[c] >= 0) {
+            total += cell_value[c];
+            if (cell_value[c] != 0) nonzero++;
+            if (cell_err[c]) errs++;
+        }
+    }
+    printf("cells=%d passes=%d evals=%d total=%d nonzero=%d errs=%d\n",
+           defined_cells, eval_passes, cells_evaluated, total, nonzero, errs);
+    return 0;
+}

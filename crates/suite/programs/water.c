@@ -1,0 +1,151 @@
+/* water: molecular dynamics of a small box of water-like molecules —
+ * the suite's N-body representative ("simulate first eight molecules
+ * of a system of water"). Velocity-Verlet integration with an O(N²)
+ * pairwise Lennard-Jones-ish force loop, periodic boundaries, and
+ * kinetic/potential energy accounting.
+ *
+ * Input: three integers — nmol, steps, seed.
+ */
+
+#define MAXMOL 32
+
+float px[MAXMOL], py[MAXMOL], pz[MAXMOL];
+float vx[MAXMOL], vy[MAXMOL], vz[MAXMOL];
+float fx[MAXMOL], fy[MAXMOL], fz[MAXMOL];
+
+int nmol, nsteps, seed;
+float box;
+float potential;
+float dt;
+
+void fatal(char *msg) {
+    printf("water: %s\n", msg);
+    exit(1);
+}
+
+int read_int(void) {
+    int c, v = 0, seen = 0;
+    c = getchar();
+    while (c == ' ' || c == '\n' || c == '\t') c = getchar();
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        seen = 1;
+        c = getchar();
+    }
+    if (!seen) fatal("expected an integer");
+    return v;
+}
+
+float frand(void) {
+    seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF;
+    return (float)(seed % 10000) / 10000.0;
+}
+
+void init_system(void) {
+    int i;
+    box = 6.0;
+    dt = 0.004;
+    for (i = 0; i < nmol; i++) {
+        px[i] = frand() * box;
+        py[i] = frand() * box;
+        pz[i] = frand() * box;
+        vx[i] = frand() - 0.5;
+        vy[i] = frand() - 0.5;
+        vz[i] = frand() - 0.5;
+    }
+}
+
+/* minimum-image displacement */
+float wrap(float d) {
+    if (d > box / 2.0) return d - box;
+    if (d < -box / 2.0) return d + box;
+    return d;
+}
+
+void compute_forces(void) {
+    int i, j;
+    potential = 0.0;
+    for (i = 0; i < nmol; i++) {
+        fx[i] = 0.0;
+        fy[i] = 0.0;
+        fz[i] = 0.0;
+    }
+    for (i = 0; i < nmol; i++) {
+        for (j = i + 1; j < nmol; j++) {
+            float dx = wrap(px[i] - px[j]);
+            float dy = wrap(py[i] - py[j]);
+            float dz = wrap(pz[i] - pz[j]);
+            float r2 = dx * dx + dy * dy + dz * dz;
+            float inv2, inv6, force;
+            if (r2 < 0.01) r2 = 0.01;
+            if (r2 > 9.0) continue;       /* cutoff */
+            inv2 = 1.0 / r2;
+            inv6 = inv2 * inv2 * inv2;
+            /* LJ-ish: repulsive 12, attractive 6 */
+            force = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+            potential += 4.0 * inv6 * (inv6 - 1.0);
+            fx[i] += force * dx;
+            fy[i] += force * dy;
+            fz[i] += force * dz;
+            fx[j] -= force * dx;
+            fy[j] -= force * dy;
+            fz[j] -= force * dz;
+        }
+    }
+}
+
+float clamp_box(float p) {
+    while (p < 0.0) p += box;
+    while (p >= box) p -= box;
+    return p;
+}
+
+void integrate(void) {
+    int i;
+    float cap = 50.0;
+    for (i = 0; i < nmol; i++) {
+        /* cap forces so a bad random start cannot explode */
+        if (fx[i] > cap) fx[i] = cap;
+        if (fx[i] < -cap) fx[i] = -cap;
+        if (fy[i] > cap) fy[i] = cap;
+        if (fy[i] < -cap) fy[i] = -cap;
+        if (fz[i] > cap) fz[i] = cap;
+        if (fz[i] < -cap) fz[i] = -cap;
+        vx[i] += fx[i] * dt;
+        vy[i] += fy[i] * dt;
+        vz[i] += fz[i] * dt;
+        px[i] = clamp_box(px[i] + vx[i] * dt);
+        py[i] = clamp_box(py[i] + vy[i] * dt);
+        pz[i] = clamp_box(pz[i] + vz[i] * dt);
+    }
+}
+
+float kinetic_energy(void) {
+    int i;
+    float ke = 0.0;
+    for (i = 0; i < nmol; i++)
+        ke += vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i];
+    return ke / 2.0;
+}
+
+int main(void) {
+    int s;
+    float ke_sum = 0.0, pe_sum = 0.0;
+    nmol = read_int();
+    nsteps = read_int();
+    seed = read_int();
+    if (nmol < 2 || nmol > MAXMOL) fatal("bad molecule count");
+    if (nsteps < 1 || nsteps > 5000) fatal("bad step count");
+    init_system();
+    for (s = 0; s < nsteps; s++) {
+        compute_forces();
+        integrate();
+        ke_sum += kinetic_energy();
+        pe_sum += potential;
+    }
+    printf("mol=%d steps=%d avg_ke=%d avg_pe=%d\n",
+           nmol, nsteps,
+           (int)(ke_sum * 100.0 / (float)nsteps),
+           (int)(pe_sum * 100.0 / (float)nsteps));
+    return 0;
+}

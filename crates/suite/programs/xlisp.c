@@ -1,0 +1,747 @@
+/* xlisp: a small Lisp interpreter in the style of the SPEC92 xlisp
+ * benchmark. All builtin functions are invoked through a function
+ * pointer table (the paper: "all the 173 built-in Lisp functions are
+ * called by pointer"), and the interpreter "spends most of its time in
+ * the read/eval/print loop and in garbage collection".
+ */
+
+#define POOL   24000
+#define NSYMS  300
+#define NAMELEN 16
+
+enum tag_kind {
+    T_FREE,
+    T_CONS,
+    T_NUM,
+    T_SYM,
+    T_BUILTIN,
+    T_LAMBDA
+};
+
+#define NIL 0
+
+int tag[POOL];
+int car_[POOL];
+int cdr_[POOL];
+int num_[POOL];
+int mark_[POOL];
+int free_list;
+int live_nodes;
+int gc_runs;
+
+char sym_name[NSYMS][NAMELEN];
+int sym_count;
+
+int global_env;
+
+/* protection stack: roots for GC during evaluation */
+#define PROT_MAX 4000
+int prot_stack[PROT_MAX];
+int prot_top;
+
+int cur_char;
+
+void fatal(char *msg) {
+    printf("xlisp: %s\n", msg);
+    exit(1);
+}
+
+void protect(int node) {
+    if (prot_top >= PROT_MAX) fatal("protect overflow");
+    prot_stack[prot_top++] = node;
+}
+
+void unprotect(int n) {
+    prot_top -= n;
+    if (prot_top < 0) fatal("protect underflow");
+}
+
+/* ---- garbage collector ---- */
+
+void mark(int node) {
+    while (node != NIL && !mark_[node]) {
+        mark_[node] = 1;
+        if (tag[node] == T_CONS || tag[node] == T_LAMBDA) {
+            mark(car_[node]);
+            node = cdr_[node];
+        } else {
+            return;
+        }
+    }
+}
+
+void sweep(void) {
+    int i;
+    free_list = NIL;
+    live_nodes = 0;
+    for (i = POOL - 1; i >= 1; i--) {
+        if (mark_[i]) {
+            mark_[i] = 0;
+            live_nodes++;
+        } else {
+            tag[i] = T_FREE;
+            cdr_[i] = free_list;
+            free_list = i;
+        }
+    }
+}
+
+void gc(void) {
+    int i;
+    gc_runs++;
+    mark(global_env);
+    for (i = 0; i < prot_top; i++) mark(prot_stack[i]);
+    sweep();
+}
+
+int alloc_node(void) {
+    int n;
+    if (free_list == NIL) {
+        gc();
+        if (free_list == NIL) fatal("heap exhausted");
+    }
+    n = free_list;
+    free_list = cdr_[n];
+    mark_[n] = 0;
+    return n;
+}
+
+int cons(int a, int d) {
+    int n;
+    protect(a);
+    protect(d);
+    n = alloc_node();
+    tag[n] = T_CONS;
+    car_[n] = a;
+    cdr_[n] = d;
+    unprotect(2);
+    return n;
+}
+
+int make_num(int v) {
+    int n = alloc_node();
+    tag[n] = T_NUM;
+    num_[n] = v;
+    car_[n] = NIL;
+    cdr_[n] = NIL;
+    return n;
+}
+
+int make_sym(int idx) {
+    int n = alloc_node();
+    tag[n] = T_SYM;
+    num_[n] = idx;
+    car_[n] = NIL;
+    cdr_[n] = NIL;
+    return n;
+}
+
+int intern(char *name) {
+    int i;
+    for (i = 0; i < sym_count; i++)
+        if (strcmp(sym_name[i], name) == 0) return i;
+    if (sym_count >= NSYMS) fatal("symbol table full");
+    strcpy(sym_name[sym_count], name);
+    sym_count++;
+    return sym_count - 1;
+}
+
+/* ---- reader ---- */
+
+void advance(void) {
+    cur_char = getchar();
+}
+
+void skip_space(void) {
+    while (cur_char == ' ' || cur_char == '\n' || cur_char == '\t' || cur_char == ';') {
+        if (cur_char == ';') {
+            while (cur_char != -1 && cur_char != '\n') advance();
+        } else {
+            advance();
+        }
+    }
+}
+
+int read_expr(void);
+
+int read_list(void) {
+    int head, tail, e;
+    skip_space();
+    if (cur_char == ')') {
+        advance();
+        return NIL;
+    }
+    e = read_expr();
+    protect(e);
+    head = cons(e, NIL);
+    protect(head);
+    tail = head;
+    for (;;) {
+        skip_space();
+        if (cur_char == ')') {
+            advance();
+            break;
+        }
+        if (cur_char == -1) fatal("unterminated list");
+        e = read_expr();
+        cdr_[tail] = cons(e, NIL);
+        tail = cdr_[tail];
+    }
+    unprotect(2);
+    return head;
+}
+
+int read_expr(void) {
+    char buf[NAMELEN];
+    int i, v, neg;
+    skip_space();
+    if (cur_char == -1) return -1;
+    if (cur_char == '(') {
+        advance();
+        return read_list();
+    }
+    if (cur_char == '\'') {
+        advance();
+        v = read_expr();
+        return cons(make_sym(intern("quote")), cons(v, NIL));
+    }
+    if (cur_char >= '0' && cur_char <= '9') {
+        v = 0;
+        while (cur_char >= '0' && cur_char <= '9') {
+            v = v * 10 + (cur_char - '0');
+            advance();
+        }
+        return make_num(v);
+    }
+    neg = 0;
+    if (cur_char == '-') {
+        advance();
+        if (cur_char >= '0' && cur_char <= '9') {
+            v = 0;
+            while (cur_char >= '0' && cur_char <= '9') {
+                v = v * 10 + (cur_char - '0');
+                advance();
+            }
+            return make_num(-v);
+        }
+        neg = 1;
+    }
+    i = 0;
+    if (neg) buf[i++] = '-';
+    while (cur_char != -1 && cur_char != ' ' && cur_char != '\n' &&
+           cur_char != '\t' && cur_char != '(' && cur_char != ')') {
+        if (i < NAMELEN - 1) buf[i++] = cur_char;
+        advance();
+    }
+    buf[i] = '\0';
+    if (i == 0) fatal("empty token");
+    return make_sym(intern(buf));
+}
+
+/* ---- printer ---- */
+
+void print_expr(int e) {
+    int first;
+    if (e == NIL) {
+        printf("nil");
+        return;
+    }
+    switch (tag[e]) {
+        case T_NUM:
+            printf("%d", num_[e]);
+            break;
+        case T_SYM:
+            printf("%s", sym_name[num_[e]]);
+            break;
+        case T_BUILTIN:
+            printf("#<builtin>");
+            break;
+        case T_LAMBDA:
+            printf("#<lambda>");
+            break;
+        case T_CONS:
+            putchar('(');
+            first = 1;
+            while (e != NIL && tag[e] == T_CONS) {
+                if (!first) putchar(' ');
+                print_expr(car_[e]);
+                first = 0;
+                e = cdr_[e];
+            }
+            putchar(')');
+            break;
+        default:
+            printf("#<bad>");
+    }
+}
+
+/* ---- environment ---- */
+
+int env_lookup(int env, int symidx) {
+    while (env != NIL) {
+        if (num_[car_[car_[env]]] == symidx) return cdr_[car_[env]];
+        env = cdr_[env];
+    }
+    printf("unbound: %s\n", sym_name[symidx]);
+    exit(1);
+    return NIL;
+}
+
+int env_bind(int env, int symidx, int value) {
+    int pair;
+    protect(env);
+    protect(value);
+    pair = cons(make_sym(symidx), value);
+    protect(pair);
+    env = cons(pair, env);
+    unprotect(3);
+    return env;
+}
+
+void env_set(int env, int symidx, int value) {
+    while (env != NIL) {
+        if (num_[car_[car_[env]]] == symidx) {
+            cdr_[car_[env]] = value;
+            return;
+        }
+        env = cdr_[env];
+    }
+    fatal("set! of unbound variable");
+}
+
+/* ---- builtins, all dispatched through bi_table ---- */
+
+int arg1(int a) { return car_[a]; }
+int arg2(int a) { return car_[cdr_[a]]; }
+
+int bi_car(int a)  { return car_[arg1(a)]; }
+int bi_cdr(int a)  { return cdr_[arg1(a)]; }
+int bi_cons(int a) { return cons(arg1(a), arg2(a)); }
+int bi_add(int a)  {
+    int s = 0;
+    while (a != NIL) { s += num_[car_[a]]; a = cdr_[a]; }
+    return make_num(s);
+}
+int bi_sub(int a)  {
+    int s;
+    if (cdr_[a] == NIL) return make_num(-num_[arg1(a)]);
+    s = num_[arg1(a)];
+    a = cdr_[a];
+    while (a != NIL) { s -= num_[car_[a]]; a = cdr_[a]; }
+    return make_num(s);
+}
+int bi_mul(int a)  {
+    int s = 1;
+    while (a != NIL) { s *= num_[car_[a]]; a = cdr_[a]; }
+    return make_num(s);
+}
+int bi_div(int a)  {
+    int d = num_[arg2(a)];
+    if (d == 0) fatal("division by zero");
+    return make_num(num_[arg1(a)] / d);
+}
+int bi_mod(int a)  {
+    int d = num_[arg2(a)];
+    if (d == 0) fatal("division by zero");
+    return make_num(num_[arg1(a)] % d);
+}
+int truth(int v) { return v ? make_sym(intern("t")) : NIL; }
+int bi_lt(int a)   { return truth(num_[arg1(a)] < num_[arg2(a)]); }
+int bi_gt(int a)   { return truth(num_[arg1(a)] > num_[arg2(a)]); }
+int bi_le(int a)   { return truth(num_[arg1(a)] <= num_[arg2(a)]); }
+int bi_ge(int a)   { return truth(num_[arg1(a)] >= num_[arg2(a)]); }
+int bi_numeq(int a){ return truth(num_[arg1(a)] == num_[arg2(a)]); }
+int bi_eq(int a)   {
+    int x = arg1(a), y = arg2(a);
+    if (x == y) return truth(1);
+    if (x != NIL && y != NIL && tag[x] == T_NUM && tag[y] == T_NUM)
+        return truth(num_[x] == num_[y]);
+    if (x != NIL && y != NIL && tag[x] == T_SYM && tag[y] == T_SYM)
+        return truth(num_[x] == num_[y]);
+    return NIL;
+}
+int bi_null(int a) { return truth(arg1(a) == NIL); }
+int bi_atom(int a) { return truth(arg1(a) == NIL || tag[arg1(a)] != T_CONS); }
+int bi_not(int a)  { return truth(arg1(a) == NIL); }
+int bi_list(int a) { return a; }
+int bi_length(int a) {
+    int n = 0, l = arg1(a);
+    while (l != NIL) { n++; l = cdr_[l]; }
+    return make_num(n);
+}
+int bi_append(int a) {
+    int x = arg1(a), y = arg2(a), head = NIL, tail = NIL, n;
+    if (x == NIL) return y;
+    protect(y);
+    while (x != NIL) {
+        n = cons(car_[x], NIL);
+        if (head == NIL) { head = n; protect(head); }
+        else cdr_[tail] = n;
+        tail = n;
+        x = cdr_[x];
+    }
+    cdr_[tail] = y;
+    unprotect(2);
+    return head;
+}
+int bi_reverse(int a) {
+    int l = arg1(a), out = NIL;
+    protect(l);
+    protect(out);
+    while (l != NIL) {
+        out = cons(car_[l], out);
+        prot_stack[prot_top - 1] = out;
+        l = cdr_[l];
+        prot_stack[prot_top - 2] = l;
+    }
+    unprotect(2);
+    return out;
+}
+int bi_assoc(int a) {
+    int k = arg1(a), l = arg2(a);
+    while (l != NIL) {
+        if (tag[car_[l]] == T_CONS && num_[car_[car_[l]]] == num_[k])
+            return car_[l];
+        l = cdr_[l];
+    }
+    return NIL;
+}
+int bi_member(int a) {
+    int k = arg1(a), l = arg2(a);
+    while (l != NIL) {
+        if (tag[car_[l]] == T_NUM && tag[k] == T_NUM && num_[car_[l]] == num_[k])
+            return l;
+        l = cdr_[l];
+    }
+    return NIL;
+}
+int bi_min(int a) { return num_[arg1(a)] < num_[arg2(a)] ? arg1(a) : arg2(a); }
+int bi_max(int a) { return num_[arg1(a)] > num_[arg2(a)] ? arg1(a) : arg2(a); }
+int bi_abs(int a) { int v = num_[arg1(a)]; return make_num(v < 0 ? -v : v); }
+int bi_zerop(int a) { return truth(num_[arg1(a)] == 0); }
+int bi_evenp(int a) { return truth((num_[arg1(a)] & 1) == 0); }
+int bi_oddp(int a)  { return truth((num_[arg1(a)] & 1) == 1); }
+int bi_print(int a) {
+    print_expr(arg1(a));
+    putchar('\n');
+    return arg1(a);
+}
+int bi_gc(int a) { gc(); return make_num(live_nodes); }
+int bi_heap(int a) { return make_num(live_nodes); }
+int bi_caar(int a) { return car_[car_[arg1(a)]]; }
+int bi_cadr(int a) { return car_[cdr_[arg1(a)]]; }
+int bi_cddr(int a) { return cdr_[cdr_[arg1(a)]]; }
+int bi_first(int a) { return car_[arg1(a)]; }
+int bi_second(int a){ return car_[cdr_[arg1(a)]]; }
+int bi_nth(int a) {
+    int n = num_[arg1(a)], l = arg2(a);
+    while (n > 0 && l != NIL) { l = cdr_[l]; n--; }
+    return l == NIL ? NIL : car_[l];
+}
+int bi_expt(int a) {
+    int b = num_[arg1(a)], e = num_[arg2(a)], r = 1;
+    while (e > 0) { r *= b; e--; }
+    return make_num(r);
+}
+int bi_ash(int a) {
+    int v = num_[arg1(a)], s = num_[arg2(a)];
+    if (s >= 0) return make_num(v << s);
+    return make_num(v >> (-s));
+}
+int bi_logand(int a) { return make_num(num_[arg1(a)] & num_[arg2(a)]); }
+int bi_logior(int a) { return make_num(num_[arg1(a)] | num_[arg2(a)]); }
+int bi_logxor(int a) { return make_num(num_[arg1(a)] ^ num_[arg2(a)]); }
+
+#define NBUILTINS 42
+int (*bi_table[NBUILTINS])(int);
+char bi_names[NBUILTINS][NAMELEN];
+int bi_count;
+
+void defbuiltin(char *name, int (*fn)(int)) {
+    int node;
+    if (bi_count >= NBUILTINS) fatal("too many builtins");
+    strcpy(bi_names[bi_count], name);
+    bi_table[bi_count] = fn;
+    node = alloc_node();
+    tag[node] = T_BUILTIN;
+    num_[node] = bi_count;
+    car_[node] = NIL;
+    cdr_[node] = NIL;
+    global_env = env_bind(global_env, intern(name), node);
+    bi_count++;
+}
+
+/* ---- evaluator ---- */
+
+int eval(int expr, int env);
+
+int eval_list(int l, int env) {
+    int head = NIL, tail = NIL, v, n;
+    protect(l);
+    protect(env);
+    while (l != NIL) {
+        v = eval(car_[l], env);
+        protect(v);
+        n = cons(v, NIL);
+        unprotect(1);
+        if (head == NIL) {
+            head = n;
+            protect(head);
+        } else {
+            cdr_[tail] = n;
+        }
+        tail = n;
+        l = cdr_[l];
+    }
+    if (head != NIL) unprotect(1);
+    unprotect(2);
+    return head;
+}
+
+int sym_quote, sym_if, sym_define, sym_lambda, sym_setq, sym_begin,
+    sym_let, sym_and, sym_or, sym_while, sym_cond, sym_else, sym_t, sym_nil;
+
+int eval(int expr, int env) {
+    int head, fn, args, params, body, v, newenv, clause;
+    if (expr == NIL) return NIL;
+    switch (tag[expr]) {
+        case T_NUM:
+        case T_BUILTIN:
+        case T_LAMBDA:
+            return expr;
+        case T_SYM:
+            if (num_[expr] == sym_t) return expr;
+            if (num_[expr] == sym_nil) return NIL;
+            return env_lookup(env, num_[expr]);
+    }
+    /* a list: special forms first */
+    head = car_[expr];
+    if (tag[head] == T_SYM) {
+        int s = num_[head];
+        if (s == sym_quote) return car_[cdr_[expr]];
+        if (s == sym_if) {
+            v = eval(car_[cdr_[expr]], env);
+            if (v != NIL) return eval(car_[cdr_[cdr_[expr]]], env);
+            if (cdr_[cdr_[cdr_[expr]]] != NIL)
+                return eval(car_[cdr_[cdr_[cdr_[expr]]]], env);
+            return NIL;
+        }
+        if (s == sym_cond) {
+            clause = cdr_[expr];
+            while (clause != NIL) {
+                if (tag[car_[car_[clause]]] == T_SYM &&
+                    num_[car_[car_[clause]]] == sym_else)
+                    return eval(car_[cdr_[car_[clause]]], env);
+                v = eval(car_[car_[clause]], env);
+                if (v != NIL) return eval(car_[cdr_[car_[clause]]], env);
+                clause = cdr_[clause];
+            }
+            return NIL;
+        }
+        if (s == sym_define) {
+            v = eval(car_[cdr_[cdr_[expr]]], global_env);
+            global_env = env_bind(global_env, num_[car_[cdr_[expr]]], v);
+            return car_[cdr_[expr]];
+        }
+        if (s == sym_setq) {
+            v = eval(car_[cdr_[cdr_[expr]]], env);
+            env_set(env, num_[car_[cdr_[expr]]], v);
+            return v;
+        }
+        if (s == sym_lambda) {
+            v = alloc_node();
+            tag[v] = T_LAMBDA;
+            car_[v] = cdr_[expr];   /* (params body...) */
+            cdr_[v] = NIL;          /* lexical env omitted: dynamic scope */
+            return v;
+        }
+        if (s == sym_begin) {
+            v = NIL;
+            body = cdr_[expr];
+            while (body != NIL) {
+                v = eval(car_[body], env);
+                body = cdr_[body];
+            }
+            return v;
+        }
+        if (s == sym_and) {
+            v = truth(1);
+            body = cdr_[expr];
+            while (body != NIL) {
+                v = eval(car_[body], env);
+                if (v == NIL) return NIL;
+                body = cdr_[body];
+            }
+            return v;
+        }
+        if (s == sym_or) {
+            body = cdr_[expr];
+            while (body != NIL) {
+                v = eval(car_[body], env);
+                if (v != NIL) return v;
+                body = cdr_[body];
+            }
+            return NIL;
+        }
+        if (s == sym_let) {
+            /* (let ((x e) (y e)) body...) */
+            newenv = env;
+            protect(newenv);
+            clause = car_[cdr_[expr]];
+            while (clause != NIL) {
+                v = eval(car_[cdr_[car_[clause]]], env);
+                newenv = env_bind(newenv, num_[car_[car_[clause]]], v);
+                prot_stack[prot_top - 1] = newenv;
+                clause = cdr_[clause];
+            }
+            v = NIL;
+            body = cdr_[cdr_[expr]];
+            while (body != NIL) {
+                v = eval(car_[body], newenv);
+                body = cdr_[body];
+            }
+            unprotect(1);
+            return v;
+        }
+        if (s == sym_while) {
+            v = NIL;
+            while (eval(car_[cdr_[expr]], env) != NIL) {
+                body = cdr_[cdr_[expr]];
+                while (body != NIL) {
+                    v = eval(car_[body], env);
+                    body = cdr_[body];
+                }
+            }
+            return v;
+        }
+    }
+    /* function application */
+    fn = eval(head, env);
+    protect(fn);
+    args = eval_list(cdr_[expr], env);
+    protect(args);
+    if (tag[fn] == T_BUILTIN) {
+        v = bi_table[num_[fn]](args);
+        unprotect(2);
+        return v;
+    }
+    if (tag[fn] == T_LAMBDA) {
+        params = car_[car_[fn]];
+        body = cdr_[car_[fn]];
+        newenv = global_env;
+        protect(newenv);
+        while (params != NIL) {
+            if (args == NIL) fatal("too few arguments");
+            newenv = env_bind(newenv, num_[car_[params]], car_[args]);
+            prot_stack[prot_top - 1] = newenv;
+            params = cdr_[params];
+            args = cdr_[args];
+        }
+        v = NIL;
+        while (body != NIL) {
+            v = eval(car_[body], newenv);
+            body = cdr_[body];
+        }
+        unprotect(3);
+        return v;
+    }
+    fatal("application of a non-function");
+    return NIL;
+}
+
+/* ---- top level ---- */
+
+void init_interp(void) {
+    int i;
+    free_list = NIL;
+    for (i = POOL - 1; i >= 1; i--) {
+        tag[i] = T_FREE;
+        cdr_[i] = free_list;
+        mark_[i] = 0;
+        free_list = i;
+    }
+    tag[NIL] = T_SYM;
+    global_env = NIL;
+    sym_count = 0;
+    bi_count = 0;
+    prot_top = 0;
+    gc_runs = 0;
+
+    sym_quote = intern("quote");
+    sym_if = intern("if");
+    sym_define = intern("define");
+    sym_lambda = intern("lambda");
+    sym_setq = intern("setq");
+    sym_begin = intern("begin");
+    sym_let = intern("let");
+    sym_and = intern("and");
+    sym_or = intern("or");
+    sym_while = intern("while");
+    sym_cond = intern("cond");
+    sym_else = intern("else");
+    sym_t = intern("t");
+    sym_nil = intern("nil");
+
+    defbuiltin("car", bi_car);
+    defbuiltin("cdr", bi_cdr);
+    defbuiltin("cons", bi_cons);
+    defbuiltin("+", bi_add);
+    defbuiltin("-", bi_sub);
+    defbuiltin("*", bi_mul);
+    defbuiltin("/", bi_div);
+    defbuiltin("mod", bi_mod);
+    defbuiltin("<", bi_lt);
+    defbuiltin(">", bi_gt);
+    defbuiltin("<=", bi_le);
+    defbuiltin(">=", bi_ge);
+    defbuiltin("=", bi_numeq);
+    defbuiltin("eq", bi_eq);
+    defbuiltin("null", bi_null);
+    defbuiltin("atom", bi_atom);
+    defbuiltin("not", bi_not);
+    defbuiltin("list", bi_list);
+    defbuiltin("length", bi_length);
+    defbuiltin("append", bi_append);
+    defbuiltin("reverse", bi_reverse);
+    defbuiltin("assoc", bi_assoc);
+    defbuiltin("member", bi_member);
+    defbuiltin("min", bi_min);
+    defbuiltin("max", bi_max);
+    defbuiltin("abs", bi_abs);
+    defbuiltin("zerop", bi_zerop);
+    defbuiltin("evenp", bi_evenp);
+    defbuiltin("oddp", bi_oddp);
+    defbuiltin("print", bi_print);
+    defbuiltin("gc", bi_gc);
+    defbuiltin("heap", bi_heap);
+    defbuiltin("caar", bi_caar);
+    defbuiltin("cadr", bi_cadr);
+    defbuiltin("cddr", bi_cddr);
+    defbuiltin("first", bi_first);
+    defbuiltin("second", bi_second);
+    defbuiltin("nth", bi_nth);
+    defbuiltin("expt", bi_expt);
+    defbuiltin("ash", bi_ash);
+    defbuiltin("logand", bi_logand);
+    defbuiltin("logior", bi_logior);
+}
+
+int main(void) {
+    int expr, v, count = 0;
+    init_interp();
+    advance();
+    for (;;) {
+        skip_space();
+        if (cur_char == -1) break;
+        expr = read_expr();
+        if (expr == -1) break;
+        protect(expr);
+        v = eval(expr, global_env);
+        unprotect(1);
+        count++;
+        gc();
+        if (v == -999999) break; /* keep v live */
+    }
+    printf("evaluated %d forms, %d gcs, %d live\n", count, gc_runs, live_nodes);
+    return 0;
+}

@@ -1,0 +1,345 @@
+//! Deterministic input generation for the 14-program suite.
+//!
+//! The paper ran "each program on several inputs (four or more in
+//! almost all cases)"; here every program gets at least four inputs,
+//! generated from fixed seeds so runs are reproducible. Text-consuming
+//! programs get generated corpora; numeric programs get parameter
+//! triples of different shapes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns the standard input set for the named suite program.
+///
+/// # Panics
+///
+/// Panics on an unknown program name; use
+/// [`crate::by_name`] to validate names first.
+pub fn inputs_for(name: &str) -> Vec<Vec<u8>> {
+    match name {
+        "compress" => compress_inputs(),
+        "xlisp" => xlisp_inputs(),
+        "gs" => gs_inputs(),
+        "espresso" => espresso_inputs(),
+        "eqntott" => eqntott_inputs(),
+        "cc" => cc_inputs(),
+        "sc" => sc_inputs(),
+        "awk" => awk_inputs(),
+        "bison" => bison_inputs(),
+        "cholesky" => params(&[[48, 6, 11], [64, 4, 22], [40, 10, 33], [56, 8, 44]]),
+        "mpeg" => params(&[[8, 6, 6, 901], [10, 8, 4, 902], [6, 6, 10, 903], [12, 4, 5, 904]]),
+        "water" => params(&[[8, 300, 71], [12, 200, 72], [16, 120, 73], [10, 250, 74]]),
+        "alvinn" => params(&[[16, 40, 81], [24, 30, 82], [32, 20, 83], [12, 60, 84]]),
+        "ear" => params(&[[12, 8000, 91], [16, 6000, 92], [8, 12000, 93], [20, 5000, 94]]),
+        other => panic!("unknown suite program `{other}`"),
+    }
+}
+
+fn params<const N: usize>(sets: &[[i64; N]]) -> Vec<Vec<u8>> {
+    sets.iter()
+        .map(|set| {
+            set.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+                .into_bytes()
+        })
+        .collect()
+}
+
+fn words_text(seed: u64, n: usize, vocab: &[&str]) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(if rng.gen_bool(0.12) { '\n' } else { ' ' });
+        }
+        out.push_str(vocab[rng.gen_range(0..vocab.len())]);
+    }
+    out.into_bytes()
+}
+
+fn compress_inputs() -> Vec<Vec<u8>> {
+    let vocab = [
+        "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dogs",
+        "compress", "dictionary", "entropy", "buffer", "stream", "token",
+    ];
+    let mut rng = StdRng::seed_from_u64(42);
+    // 1: English-ish words (compressible).
+    let a = words_text(1, 700, &vocab);
+    // 2: highly repetitive.
+    let b = "abcabcabcabdabc".repeat(260).into_bytes();
+    // 3: near-random bytes (incompressible).
+    let c: Vec<u8> = (0..3500).map(|_| rng.gen_range(b'a'..=b'z')).collect();
+    // 4: structured log lines.
+    let mut d = String::new();
+    for i in 0..160 {
+        d.push_str(&format!(
+            "1994-06-{:02} host{} event={} status={}\n",
+            (i % 28) + 1,
+            i % 7,
+            ["open", "close", "read", "write"][i % 4],
+            200 + (i % 3) * 100,
+        ));
+    }
+    vec![a, b, c, d.into_bytes()]
+}
+
+fn xlisp_inputs() -> Vec<Vec<u8>> {
+    let recursion = r#"
+        (define fib (lambda (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))
+        (print (fib 13))
+        (define fact (lambda (n) (if (= n 0) 1 (* n (fact (- n 1))))))
+        (print (fact 12))
+        (define ack (lambda (m n)
+          (cond ((= m 0) (+ n 1))
+                ((= n 0) (ack (- m 1) 1))
+                (else (ack (- m 1) (ack m (- n 1)))))))
+        (print (ack 2 3))
+    "#;
+    let lists = r#"
+        (define range (lambda (n) (if (= n 0) nil (cons n (range (- n 1))))))
+        (define sum (lambda (l) (if (null l) 0 (+ (car l) (sum (cdr l))))))
+        (define mapsq (lambda (l) (if (null l) nil (cons (* (car l) (car l)) (mapsq (cdr l))))))
+        (define filt-even (lambda (l)
+          (cond ((null l) nil)
+                ((evenp (car l)) (cons (car l) (filt-even (cdr l))))
+                (else (filt-even (cdr l))))))
+        (print (sum (range 60)))
+        (print (sum (mapsq (range 30))))
+        (print (length (filt-even (range 50))))
+        (print (reverse (range 8)))
+        (print (length (append (range 40) (reverse (range 40)))))
+    "#;
+    let iteration = r#"
+        (define counter 0)
+        (define total 0)
+        (while (< counter 150)
+          (setq total (+ total (* counter counter)))
+          (setq counter (+ counter 1)))
+        (print total)
+        (define bits (lambda (n) (if (= n 0) 0 (+ (logand n 1) (bits (ash n -1))))))
+        (print (bits 12345))
+        (print (expt 3 9))
+        (print (gc))
+    "#;
+    let assoc = r#"
+        (define table (list (cons 1 10) (cons 2 20) (cons 3 30) (cons 4 40)))
+        (define lookup (lambda (k) (cdr (assoc k table))))
+        (print (+ (lookup 1) (lookup 3)))
+        (define nums (list 5 3 9 1 7 2 8))
+        (define biggest (lambda (l)
+          (if (null (cdr l)) (car l) (max (car l) (biggest (cdr l))))))
+        (print (biggest nums))
+        (print (member 7 nums))
+        (define pairs (lambda (a b)
+          (if (null a) nil (cons (list (car a) (car b)) (pairs (cdr a) (cdr b))))))
+        (print (length (pairs nums nums)))
+        (print (nth 3 nums))
+    "#;
+    vec![
+        recursion.into(),
+        lists.into(),
+        iteration.into(),
+        assoc.into(),
+    ]
+}
+
+fn gs_inputs() -> Vec<Vec<u8>> {
+    let boxes = r#"
+        1 setgray
+        newpath 5 5 moveto
+        30 { 3 2 rlineto 12 8 box stroke } repeat
+        /size 40 def
+        size size mul print
+        20 { 10 10 moveto size 4 div circle stroke } repeat
+        fill
+        count print
+    "#;
+    let lines = r#"
+        1 setgray newpath 0 0 moveto
+        40 { 7 3 rlineto } repeat
+        stroke
+        0 0 moveto
+        25 { 11 13 rlineto 2 1 rlineto } repeat
+        closepath stroke
+        1 2 add 3 mul 4 sub print
+    "#;
+    let arith = r#"
+        /a 12 def /b 34 def
+        a b add print
+        a b mul print
+        16 { a b add /a exch def } repeat
+        a print
+        10 { 1 2 3 4 5 add add add add pop } repeat
+        5 dup mul print
+        9 3 div print
+        17 5 mod print
+        1 2 eq print
+        4 4 eq print
+    "#;
+    let picture = r#"
+        1 setgray
+        newpath 50 50 moveto 25 circle fill
+        newpath 10 10 moveto
+        15 { 20 0 rlineto 0 20 rlineto } repeat
+        stroke
+        newpath 100 100 moveto 60 40 box fill
+        8 { 30 30 moveto 10 circle stroke } repeat
+        pstack count print
+    "#;
+    vec![boxes.into(), lines.into(), arith.into(), picture.into()]
+}
+
+fn espresso_inputs() -> Vec<Vec<u8>> {
+    fn minterm_set(seed: u64, nvars: u32, count: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = 1usize << nvars;
+        let mut terms: Vec<usize> = (0..space).collect();
+        for i in (1..terms.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            terms.swap(i, j);
+        }
+        terms.truncate(count);
+        terms.sort_unstable();
+        let body = terms
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!("{nvars}\n{body}").into_bytes()
+    }
+    vec![
+        minterm_set(101, 7, 50),
+        minterm_set(102, 8, 70),
+        // structured: all even minterms of 7 vars (collapses massively)
+        {
+            let body = (0..128)
+                .step_by(2)
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!("7\n{body}").into_bytes()
+        },
+        minterm_set(104, 8, 40),
+    ]
+}
+
+fn eqntott_inputs() -> Vec<Vec<u8>> {
+    vec![
+        b"(a & b) | (!c & d & (e ^ f)) | (g & !h)".to_vec(),
+        b"(a ^ b ^ c) | (d & e & f & g) | (!a & h & j)".to_vec(),
+        b"((a | b) & (c | d)) ^ ((e | f) & (g | h)) ^ (j & a)".to_vec(),
+        b"(!a & !b & !c) | (a & b & c) | (d ^ e) & (f | g | h | j)".to_vec(),
+    ]
+}
+
+fn cc_inputs() -> Vec<Vec<u8>> {
+    let fib = r#"
+        n = 25; a = 0; b = 1; i = 0;
+        while (i < n) { t = a + b; a = b; b = t; i = i + 1; }
+        print a;
+    "#;
+    let primes = r#"
+        count = 0; n = 2;
+        while (n < 300) {
+            p = 1; d = 2;
+            while (d * d < n + 1) {
+                if (n % d == 0) { p = 0; }
+                d = d + 1;
+            }
+            if (p > 0) { count = count + 1; }
+            n = n + 1;
+        }
+        print count;
+    "#;
+    let collatz = r#"
+        longest = 0; best = 0; n = 1;
+        while (n < 120) {
+            steps = 0; v = n;
+            while (v > 1) {
+                if (v % 2 == 0) { v = v / 2; }
+                if (v % 2 == 1) { if (v > 1) { v = 3 * v + 1; } }
+                steps = steps + 1;
+            }
+            if (steps > longest) { longest = steps; best = n; }
+            n = n + 1;
+        }
+        print best; print longest;
+    "#;
+    let folding = r#"
+        x = 2 + 3 * 4 - 1;
+        y = (100 / 5) % 7;
+        z = x * 1 + 0;
+        print x; print y; print z;
+        i = 0; acc = 0;
+        while (i < 200) {
+            acc = acc + i * 2 + 1 * 1 + 0;
+            i = i + 1;
+        }
+        print acc;
+        if (acc > 100) { print 1; }
+        if (acc < 100) { print 0; }
+    "#;
+    vec![fib.into(), primes.into(), collatz.into(), folding.into()]
+}
+
+fn sc_inputs() -> Vec<Vec<u8>> {
+    // A cascading sheet: column A holds data, B running totals,
+    // C aggregates.
+    fn sheet(seed: u64, rows: usize) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = String::new();
+        for r in 1..=rows {
+            out.push_str(&format!("A{} = {}\n", r, rng.gen_range(1..50)));
+        }
+        out.push_str("B1 = A1\n");
+        for r in 2..=rows {
+            out.push_str(&format!("B{} = B{} + A{}\n", r, r - 1, r));
+        }
+        out.push_str(&format!("C1 = SUM(A1:A{rows})\n"));
+        out.push_str(&format!("C2 = MAX(A1:A{rows})\n"));
+        out.push_str(&format!("C3 = MIN(A1:A{rows})\n"));
+        out.push_str(&format!("C4 = COUNT(A1:B{rows})\n"));
+        out.push_str(&format!("D1 = B{rows} - C1\n"));
+        out.push_str("D2 = C2 * 2 + C3\n");
+        out.into_bytes()
+    }
+    vec![sheet(11, 30), sheet(12, 45), sheet(13, 20), sheet(14, 60)]
+}
+
+fn awk_inputs() -> Vec<Vec<u8>> {
+    let vocab = [
+        "error", "warning", "info", "debug", "connect", "disconnect",
+        "timeout", "retry", "packet", "filter", "matching", "singing",
+        "running", "jumped", "quick", "brown",
+    ];
+    fn corpus(seed: u64, pattern: &str, lines: usize, vocab: &[&str]) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = String::from(pattern);
+        out.push('\n');
+        for _ in 0..lines {
+            let n = rng.gen_range(3..9);
+            let words: Vec<&str> = (0..n)
+                .map(|_| vocab[rng.gen_range(0..vocab.len())])
+                .collect();
+            out.push_str(&words.join(" "));
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+    vec![
+        corpus(21, "[a-z]*ing$", 120, &vocab),
+        corpus(22, "^error", 150, &vocab),
+        corpus(23, "time[a-z]*", 140, &vocab),
+        corpus(24, "[dr]e[a-z]*t", 130, &vocab),
+    ]
+}
+
+fn bison_inputs() -> Vec<Vec<u8>> {
+    let expr = "E : T R ;\nR : p T R ;\nR : _ ;\nT : F S ;\nS : m F S ;\nS : _ ;\nF : x ;\nF : l E r ;\n.\nxpxmxmlxpxrmx\n";
+    let list = "L : i M ;\nM : c i M ;\nM : _ ;\n.\nicicicici\n";
+    let paren = "P : l P r P ;\nP : _ ;\n.\nllrrlrllrrlr\n";
+    let stmt = "S : A ;\nS : W ;\nA : i e E s ;\nW : w l E r B ;\nB : b S d ;\nE : i ;\nE : n ;\n.\nwlirbieisd\n";
+    vec![expr.into(), list.into(), paren.into(), stmt.into()]
+}

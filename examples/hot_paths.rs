@@ -1,0 +1,78 @@
+//! Whole-program hot-path listing: combine intra- and inter-procedural
+//! estimates into a global ranking of basic blocks and arcs (the
+//! abstract's "arc and basic block frequency estimates for the entire
+//! program"), then print the hottest estimated path through the
+//! hottest function — all statically.
+//!
+//! Run with: `cargo run --release --example hot_paths [program]`
+
+use estimators::global::{global_arcs, global_blocks};
+use estimators::{inter, intra};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "compress".to_string());
+    let bench = suite::by_name(&name)
+        .ok_or_else(|| format!("unknown suite program `{name}`"))?;
+    let program = bench.compile().map_err(|e| e.render(bench.source))?;
+
+    let ia = intra::estimate_program(&program, intra::IntraEstimator::Smart);
+    let ie = inter::estimate_invocations(&program, &ia, inter::InterEstimator::Markov);
+
+    // Top blocks across the whole program.
+    let mut blocks = global_blocks(&program, &ia, &ie);
+    blocks.sort_by(|a, b| b.freq.partial_cmp(&a.freq).unwrap());
+    println!("{name}: hottest basic blocks (static estimate)");
+    for gb in blocks.iter().take(8) {
+        println!(
+            "  {:>10.1}  {}:B{}",
+            gb.freq,
+            program.module.function(gb.func).name,
+            gb.block.0
+        );
+    }
+
+    // Walk the hottest arc out of each block starting from the hottest
+    // function's entry — the "trace" an optimizer would lay out first.
+    let arcs = global_arcs(&program, &ia, &ie);
+    let hot_fn = blocks[0].func;
+    let cfg = program.cfg(hot_fn);
+    println!(
+        "\nhot trace through `{}` (following the likeliest arc):",
+        program.module.function(hot_fn).name
+    );
+    let mut cur = cfg.entry;
+    let mut visited = std::collections::HashSet::new();
+    while visited.insert(cur) {
+        let est = ia.blocks_of(hot_fn)[cur.0 as usize];
+        println!("  B{} (freq {est:.2})", cur.0);
+        let next = arcs
+            .iter()
+            .filter(|a| a.func == hot_fn && a.from == cur)
+            .max_by(|a, b| a.freq.partial_cmp(&b.freq).unwrap());
+        match next {
+            Some(a) => cur = a.to,
+            None => break,
+        }
+    }
+
+    // Validate against one real run.
+    let input = bench.inputs().into_iter().next().unwrap();
+    let out = profiler::run(&program, &profiler::RunConfig::with_input(input))?;
+    let mut actual: Vec<(f64, String)> = Vec::new();
+    for f in program.defined_ids() {
+        for (b, &c) in out.profile.blocks_of(f).iter().enumerate() {
+            actual.push((
+                c as f64,
+                format!("{}:B{}", program.module.function(f).name, b),
+            ));
+        }
+    }
+    actual.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    println!("\nactually hottest blocks on input 1:");
+    for (c, label) in actual.iter().take(8) {
+        println!("  {c:>10.0}  {label}");
+    }
+    Ok(())
+}

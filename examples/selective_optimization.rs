@@ -1,0 +1,59 @@
+//! The paper's §6 experiment as a library consumer would run it:
+//! decide which functions of a program deserve optimization using only
+//! static estimates, then validate the choice on a held-out workload
+//! with the cost model.
+//!
+//! Run with: `cargo run --release --example selective_optimization [program]`
+
+use estimators::{inter, intra};
+use minic::sema::FuncId;
+use profiler::RunConfig;
+use std::collections::HashSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "compress".to_string());
+    let bench = suite::by_name(&name)
+        .ok_or_else(|| format!("unknown suite program `{name}`"))?;
+    let program = bench.compile().map_err(|e| e.render(bench.source))?;
+
+    // Rank functions by the static Markov invocation estimate.
+    let ia = intra::estimate_program(&program, intra::IntraEstimator::Smart);
+    let ie = inter::estimate_invocations(&program, &ia, inter::InterEstimator::Markov);
+    let mut order = program.defined_ids();
+    order.sort_by(|&a, &b| ie.of(b).partial_cmp(&ie.of(a)).unwrap());
+
+    println!("{name}: static hotness ranking");
+    for (i, &f) in order.iter().enumerate() {
+        println!(
+            "  {:2}. {:<18} est. invocations {:10.1}",
+            i + 1,
+            program.module.function(f).name,
+            ie.of(f)
+        );
+    }
+
+    // Measure on the last standard input (the others would be the
+    // "profiling" inputs if we were comparing approaches).
+    let inputs = bench.inputs();
+    let measured = profiler::run(
+        &program,
+        &RunConfig::with_input(inputs.last().expect("inputs").clone()),
+    )?
+    .profile;
+
+    println!("\nsimulated speedup as functions are optimized (cost model):");
+    let base = profiler::cost::simulated_time(&measured, &HashSet::new());
+    for k in 0..=order.len() {
+        let set: HashSet<FuncId> = order.iter().take(k).copied().collect();
+        let t = profiler::cost::simulated_time(&measured, &set);
+        let bar = "#".repeat(((base / t - 1.0) * 40.0) as usize);
+        println!("  top-{k:<2} speedup {:5.3} {bar}", base / t);
+        if k >= 8 && base / t > 0.97 * (1.0 / profiler::cost::OPT_FACTOR) {
+            println!("  (diminishing returns; stopping)");
+            break;
+        }
+    }
+    Ok(())
+}

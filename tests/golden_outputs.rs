@@ -1,0 +1,66 @@
+//! Golden-output regression tests: the exact stdout of every suite
+//! program on its first standard input. These pin down the *entire*
+//! stack — lexer, parser, sema, CFG lowering, simplification, and the
+//! interpreter — so any semantic regression anywhere shows up as a
+//! diff here.
+//!
+//! If a change intentionally alters program behaviour (e.g. a new
+//! input generator), regenerate with:
+//! `cargo run --release -p bench --example golden`
+
+use profiler::RunConfig;
+
+const GOLDEN: &[(&str, &str)] = &[
+    ("alvinn", "patterns=16 epochs=40 final_err=3745 correct=16\n"),
+    ("compress", "in=4435 out=1215 ratio=27% codes=1232 sum=9fdca1\n"),
+    (
+        "ear",
+        "channels=12 samples=8000 frames=250 peak=0 fired=7646 energy=6313\n",
+    ),
+    (
+        "eqntott",
+        "vars=8 rows=256 ones=130 sum=2051f8\n01000000 1\n00000011 1\n00011000 1\n00101000 1\n01000001 1\n01000010 1\n01000100 1\n01001000 1\n",
+    ),
+    (
+        "espresso",
+        "vars=7 minterms=50 primes=38 cover=24 literals=139\n-1101--\n-001-10\n-1011-0\n011-00-\n1101-0-\n000011-\n-100011\n100-000\n100-011\n1010-01\n1010-10\n1-11111\n0--1110\n0000001\n0010011\n1111010\n0-10100\n0-11000\n01-0101\n01110-1\n11000-1\n11-0011\n11-1100\n011--01\n",
+    ),
+    ("cc", "75025\nnodes=38 folded=0 code=28 peephole=0 steps=440\n"),
+    ("sc", "cells=66 passes=4 evals=264 total=15256 nonzero=65 errs=0\n"),
+    ("xlisp", "233\n479001600\n9\nevaluated 6 forms, 6 gcs, 316 live\n"),
+    ("awk", "lines=120 matched=34 fields=181 chars=4483 sum=af85\n"),
+    (
+        "bison",
+        "prods=8 rounds=9 nullable=2 first=8 follow=14 conflicts=0 probe=37\n",
+    ),
+    ("cholesky", "n=48 band=6 nonzeros=310 norm=4511 residual_ok=1\n"),
+    ("gs", "1600\n0\nops=390 pixels=10858 bbox=0 0 107 305\n"),
+    ("mpeg", "blocks=288 avg_sad=69 energy=505694\n"),
+    ("water", "mol=8 steps=300 avg_ke=6594 avg_pe=3554\n"),
+];
+
+#[test]
+fn suite_outputs_match_golden() {
+    for (name, expected) in GOLDEN {
+        let bench = suite::by_name(name).expect("program exists");
+        let program = bench.compile().expect("compiles");
+        let input = bench.inputs().into_iter().next().expect("has inputs");
+        let out = profiler::run(&program, &RunConfig::with_input(input)).expect("runs");
+        assert_eq!(
+            &out.stdout(),
+            expected,
+            "{name}: output changed — if intentional, regenerate with \
+             `cargo run --release -p bench --example golden`"
+        );
+        assert_eq!(out.exit_code, 0, "{name}");
+    }
+}
+
+#[test]
+fn golden_covers_every_program() {
+    let names: Vec<&str> = GOLDEN.iter().map(|&(n, _)| n).collect();
+    for bench in suite::all() {
+        assert!(names.contains(&bench.name), "{} missing", bench.name);
+    }
+    assert_eq!(names.len(), 14);
+}

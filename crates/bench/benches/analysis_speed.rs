@@ -47,9 +47,7 @@ fn bench_estimators(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("inter_markov", name),
             &(&program, &ia),
-            |b, (p, ia)| {
-                b.iter(|| black_box(estimate_invocations(p, ia, InterEstimator::Markov)))
-            },
+            |b, (p, ia)| b.iter(|| black_box(estimate_invocations(p, ia, InterEstimator::Markov))),
         );
     }
     group.finish();

@@ -20,9 +20,7 @@ fn bench_profiling(c: &mut Criterion) {
             &(&program, &input),
             |b, (p, input)| {
                 b.iter(|| {
-                    black_box(
-                        profiler::run(p, &RunConfig::with_input((*input).clone())).unwrap(),
-                    )
+                    black_box(profiler::run(p, &RunConfig::with_input((*input).clone())).unwrap())
                 })
             },
         );
@@ -60,9 +58,7 @@ fn bench_metric(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("weight_matching", n),
             &(est, actual),
-            |b, (est, actual)| {
-                b.iter(|| black_box(estimators::weight_matching(est, actual, 0.25)))
-            },
+            |b, (est, actual)| b.iter(|| black_box(estimators::weight_matching(est, actual, 0.25))),
         );
     }
     group.finish();

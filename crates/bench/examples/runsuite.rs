@@ -15,7 +15,11 @@ fn main() {
                 let codes: Vec<i64> = outs.iter().map(|o| o.exit_code).collect();
                 println!(
                     "{:10} ok  inputs={} steps={:>10} exits={:?} time={:?}",
-                    bp.name, outs.len(), steps, codes, t0.elapsed()
+                    bp.name,
+                    outs.len(),
+                    steps,
+                    codes,
+                    t0.elapsed()
                 );
             }
             Err(e) => println!("{:10} RUNTIME ERROR: {e}", bp.name),

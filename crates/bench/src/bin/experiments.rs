@@ -16,17 +16,32 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() {
         vec![
-            "table1", "table2", "fig2", "fig3", "fig4", "fig5a", "fig5b", "fig5c",
-            "fig7", "fig8", "fig9", "fig10", "ablation", "extensions",
+            "table1",
+            "table2",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5a",
+            "fig5b",
+            "fig5c",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "ablation",
+            "extensions",
         ]
     } else {
         args.iter().map(String::as_str).collect()
     };
 
     // Experiments that need the profiled suite share one load.
-    let needs_suite = wanted
-        .iter()
-        .any(|w| matches!(*w, "fig2" | "fig4" | "fig5a" | "fig5b" | "fig5c" | "fig9" | "ablation" | "extensions"));
+    let needs_suite = wanted.iter().any(|w| {
+        matches!(
+            *w,
+            "fig2" | "fig4" | "fig5a" | "fig5b" | "fig5c" | "fig9" | "ablation" | "extensions"
+        )
+    });
     let suite_data = if needs_suite {
         eprintln!("compiling and profiling the 14-program suite...");
         load_suite()
@@ -261,14 +276,23 @@ fn fig7() {
         println!("  B{i}: {v:.4}");
     }
     println!("(paper: while = 2.78, if = 2.22, return1 = 0.44, incr = 1.78, return2 = 0.56)");
-    println!("\nDOT rendering of the CFG:\n{}", flowgraph::dot::cfg_to_dot(&program.module, cfg, Some(&sol)));
+    println!(
+        "\nDOT rendering of the CFG:\n{}",
+        flowgraph::dot::cfg_to_dot(&program.module, cfg, Some(&sol))
+    );
 }
 
 fn fig8() {
     header("Figure 8: recursion repair for count_nodes");
     let f = bench::fig8();
-    println!("raw self-arc weight : {:.2}  (paper: 1.6 — impossible, >1)", f.self_arc_weight);
-    println!("repaired estimate   : {:.2}  (self arc reset to 0.8)", f.repaired_estimate);
+    println!(
+        "raw self-arc weight : {:.2}  (paper: 1.6 — impossible, >1)",
+        f.self_arc_weight
+    );
+    println!(
+        "repaired estimate   : {:.2}  (self arc reset to 0.8)",
+        f.repaired_estimate
+    );
 }
 
 fn fig9(suite_data: &[ProgramData]) {
@@ -357,7 +381,13 @@ fn extensions(suite_data: &[ProgramData]) {
     );
     let (mut s1, mut s2) = (0.0, 0.0);
     for (name, smart, trip, n) in &e.trip_rows {
-        println!("{:<10} {:>7} {:>11} {:>8}", name, pct(*smart), pct(*trip), n);
+        println!(
+            "{:<10} {:>7} {:>11} {:>8}",
+            name,
+            pct(*smart),
+            pct(*trip),
+            n
+        );
         s1 += smart;
         s2 += trip;
     }

@@ -49,8 +49,25 @@ pub fn load_program(bench: BenchProgram) -> ProgramData {
 }
 
 /// Compiles and profiles the whole suite (a few seconds of work).
+///
+/// Programs are loaded in parallel — one scoped thread per program,
+/// since compilation and the interpreter runs are independent — and
+/// returned in Table 1 order regardless of completion order. On a
+/// multi-core machine this makes suite loading bound by the slowest
+/// single program instead of the sum of all fourteen.
 pub fn load_suite() -> Vec<ProgramData> {
-    suite::all().into_iter().map(load_program).collect()
+    let benches = suite::all();
+    let mut results: Vec<Option<ProgramData>> = Vec::new();
+    results.resize_with(benches.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, bench) in results.iter_mut().zip(benches) {
+            scope.spawn(move || *slot = Some(load_program(bench)));
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every suite thread fills its slot"))
+        .collect()
 }
 
 /// The `strchr` running example used by Table 2 and Figures 1/3/6/7.
@@ -102,12 +119,7 @@ pub fn table2() -> Table2 {
     let program = flowgraph::build_program(&module);
     let out = profiler::run(&program, &RunConfig::default()).expect("runs");
     let f = program.function_id("strchr").expect("strchr exists");
-    let actual: Vec<f64> = out
-        .profile
-        .blocks_of(f)
-        .iter()
-        .map(|&c| c as f64)
-        .collect();
+    let actual: Vec<f64> = out.profile.blocks_of(f).iter().map(|&c| c as f64).collect();
     let est = estimators::intra::estimate_function(&program, f, IntraEstimator::Smart);
     let rows = actual.iter().copied().zip(est.iter().copied()).collect();
     Table2 {
@@ -185,8 +197,7 @@ pub fn fig5a(suite_data: &[ProgramData]) -> Vec<(&'static str, [f64; 5])> {
                 let ie = estimate_invocations(&d.program, &ia, which);
                 eval::invocation_score(&d.program, &ie, &d.profiles, 0.25)
             };
-            let profile =
-                eval::invocation_score_profile_predictor(&d.program, &d.profiles, 0.25);
+            let profile = eval::invocation_score_profile_predictor(&d.program, &d.profiles, 0.25);
             (
                 d.bench.name,
                 [
@@ -211,11 +222,14 @@ pub fn fig5bc(suite_data: &[ProgramData], cutoff: f64) -> Vec<(&'static str, [f6
                 let ie = estimate_invocations(&d.program, &ia, which);
                 eval::invocation_score(&d.program, &ie, &d.profiles, cutoff)
             };
-            let profile =
-                eval::invocation_score_profile_predictor(&d.program, &d.profiles, cutoff);
+            let profile = eval::invocation_score_profile_predictor(&d.program, &d.profiles, cutoff);
             (
                 d.bench.name,
-                [s(InterEstimator::Direct), s(InterEstimator::Markov), profile],
+                [
+                    s(InterEstimator::Direct),
+                    s(InterEstimator::Markov),
+                    profile,
+                ],
             )
         })
         .collect()
@@ -231,11 +245,14 @@ pub fn fig9(suite_data: &[ProgramData]) -> Vec<(&'static str, [f64; 3])> {
                 let ie = estimate_invocations(&d.program, &ia, which);
                 eval::callsite_score(&d.program, &ia, &ie, &d.profiles, 0.25)
             };
-            let profile =
-                eval::callsite_score_profile_predictor(&d.program, &d.profiles, 0.25);
+            let profile = eval::callsite_score_profile_predictor(&d.program, &d.profiles, 0.25);
             (
                 d.bench.name,
-                [s(InterEstimator::Direct), s(InterEstimator::Markov), profile],
+                [
+                    s(InterEstimator::Direct),
+                    s(InterEstimator::Markov),
+                    profile,
+                ],
             )
         })
         .collect()
@@ -478,8 +495,7 @@ pub fn extensions(suite_data: &[ProgramData]) -> Extensions {
             trip_counts: true,
             ..IntraOptions::default()
         };
-        let smart_trip =
-            estimate_program_with(&d.program, IntraEstimator::Smart, &trip_options);
+        let smart_trip = estimate_program_with(&d.program, IntraEstimator::Smart, &trip_options);
         let recognized = estimators::tripcount::trip_counts(&d.program.module).len();
         trip_rows.push((
             d.bench.name,
@@ -491,9 +507,7 @@ pub fn extensions(suite_data: &[ProgramData]) -> Extensions {
         let ie = estimate_invocations(&d.program, &smart, InterEstimator::Markov);
         global_rows.push((
             d.bench.name,
-            estimators::global::global_block_score(
-                &d.program, &smart, &ie, &d.profiles, 0.25,
-            ),
+            estimators::global::global_block_score(&d.program, &smart, &ie, &d.profiles, 0.25),
             estimators::global::global_arc_score(&d.program, &smart, &ie, &d.profiles, 0.25),
         ));
     }
@@ -595,8 +609,14 @@ mod tests {
         // The top-4 static picks should include the hot four; compress
         // is dominated by next_byte/find_code/emit_code/compress_stream
         // (hash_pair and put_byte are also hot contenders).
-        let hot = ["next_byte", "find_code", "emit_code", "compress_stream",
-                   "hash_pair", "put_byte"];
+        let hot = [
+            "next_byte",
+            "find_code",
+            "emit_code",
+            "compress_stream",
+            "hash_pair",
+            "put_byte",
+        ];
         let top: Vec<&str> = f.static_order.iter().take(4).map(|s| s.as_str()).collect();
         for name in &top {
             assert!(hot.contains(name), "unexpected hot pick {name}: {top:?}");

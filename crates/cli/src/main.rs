@@ -121,7 +121,10 @@ fn blocks(program: &Program, func: Option<&str>) -> ExitCode {
             }
         }
         println!("== {name} ==");
-        println!("{:>6} {:>10} {:>10} {:>10}", "block", "loop", "smart", "markov");
+        println!(
+            "{:>6} {:>10} {:>10} {:>10}",
+            "block", "loop", "smart", "markov"
+        );
         for b in 0..program.cfg(f).len() {
             println!(
                 "{:>6} {:>10.3} {:>10.3} {:>10.3}",

@@ -280,9 +280,7 @@ pub fn error_functions(module: &Module) -> std::collections::HashSet<minic::sema
                     if let Some(site) = module.side.call_site_of.get(&e.id) {
                         match module.side.call_sites[site.0 as usize].callee {
                             CalleeKind::Builtin(b) if b.is_noreturn() => reaches_exit = true,
-                            CalleeKind::Direct(f) if error_fns.contains(&f) => {
-                                reaches_exit = true
-                            }
+                            CalleeKind::Direct(f) if error_fns.contains(&f) => reaches_exit = true,
                             _ => {}
                         }
                     }
@@ -459,8 +457,8 @@ impl<'m> FnContext<'m> {
             ExprKind::Binary(op @ (BinOp::Eq | BinOp::Ne), a, b) => {
                 let a_ptr = self.is_pointer(a);
                 let b_ptr = self.is_pointer(b);
-                let null_test = (a_ptr && Self::is_null_literal(b))
-                    || (b_ptr && Self::is_null_literal(a));
+                let null_test =
+                    (a_ptr && Self::is_null_literal(b)) || (b_ptr && Self::is_null_literal(a));
                 let ptr_cmp = a_ptr && b_ptr;
                 if null_test || ptr_cmp {
                     // Equality of pointers (or with NULL) is unlikely.
@@ -588,10 +586,7 @@ fn collect_writes(module: &Module, e: &Expr, out: &mut HashSet<VarKey>) {
                 out.insert(v);
             }
         }
-        ExprKind::Unary(
-            UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec,
-            inner,
-        ) => {
+        ExprKind::Unary(UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec, inner) => {
             if let Some(v) = root_var(module, inner) {
                 out.insert(v);
             }
@@ -685,18 +680,14 @@ mod tests {
 
     #[test]
     fn pointer_equality_is_unlikely() {
-        let p = first_if_prediction(
-            "int f(char *p, char *q) { if (p == q) return 1; return 0; }",
-        );
+        let p = first_if_prediction("int f(char *p, char *q) { if (p == q) return 1; return 0; }");
         assert_eq!(p.heuristic, Heuristic::Pointer);
         assert!(!p.taken);
     }
 
     #[test]
     fn error_call_arm_is_unlikely() {
-        let p = first_if_prediction(
-            "int f(int n) { if (n < 0) { exit(1); } return n; }",
-        );
+        let p = first_if_prediction("int f(int n) { if (n < 0) { exit(1); } return n; }");
         assert_eq!(p.heuristic, Heuristic::ErrorCall);
         assert!(!p.taken);
 
@@ -774,8 +765,7 @@ mod tests {
 
     #[test]
     fn ternary_gets_predicted() {
-        let (module, preds) =
-            predictions("int f(char *p) { return p ? 1 : 0; }");
+        let (module, preds) = predictions("int f(char *p) { return p ? 1 : 0; }");
         let b = module
             .side
             .branches
@@ -795,10 +785,7 @@ mod tests {
 
     #[test]
     fn ablation_disables_heuristics() {
-        let module = minic::compile(
-            "int f(char *p) { if (p == 0) return 1; return 0; }",
-        )
-        .unwrap();
+        let module = minic::compile("int f(char *p) { if (p == 0) return 1; return 0; }").unwrap();
         let full = predict_module_with(&module, &PredictorConfig::default());
         let ablated = predict_module_with(&module, &PredictorConfig::without(Heuristic::Pointer));
         let b = module.side.branches[0].id;
@@ -831,13 +818,15 @@ mod tests {
         let mut probs: Vec<f64> = preds.values().map(|p| p.prob_taken).collect();
         probs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         probs.dedup();
-        assert!(probs.len() >= 2, "calibrated probs should differ: {probs:?}");
+        assert!(
+            probs.len() >= 2,
+            "calibrated probs should differ: {probs:?}"
+        );
     }
 
     #[test]
     fn confidence_parameter_scales_probabilities() {
-        let module =
-            minic::compile("int f(int n) { while (n > 0) n--; return n; }").unwrap();
+        let module = minic::compile("int f(int n) { while (n > 0) n--; return n; }").unwrap();
         let config = PredictorConfig {
             confidence: 0.9,
             ..PredictorConfig::default()

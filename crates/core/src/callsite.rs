@@ -11,7 +11,7 @@
 use crate::inter::{local_site_freqs, InterEstimates};
 use crate::intra::IntraEstimates;
 use flowgraph::Program;
-use minic::sema::{CalleeKind, CallSiteId};
+use minic::sema::{CallSiteId, CalleeKind};
 
 /// An estimated (or measured) global call-site frequency.
 #[derive(Debug, Clone, Copy, PartialEq)]

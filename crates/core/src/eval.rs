@@ -65,11 +65,7 @@ pub fn intra_score(
 
 /// Figure 4's "profile" column: each profile scored against the
 /// leave-one-out aggregate of the others.
-pub fn intra_score_profile_predictor(
-    program: &Program,
-    profiles: &[Profile],
-    cutoff: f64,
-) -> f64 {
+pub fn intra_score_profile_predictor(program: &Program, profiles: &[Profile], cutoff: f64) -> f64 {
     let mut per_profile = Vec::new();
     for (i, p) in profiles.iter().enumerate() {
         let agg = loo_aggregate(profiles, i);
@@ -263,7 +259,11 @@ mod tests {
         let program = flowgraph::build_program(&module);
         let profiles = inputs
             .iter()
-            .map(|i| run(&program, &RunConfig::with_input(*i)).expect("run").profile)
+            .map(|i| {
+                run(&program, &RunConfig::with_input(*i))
+                    .expect("run")
+                    .profile
+            })
             .collect();
         (program, profiles)
     }
@@ -286,10 +286,7 @@ mod tests {
 
     #[test]
     fn scores_are_in_range_and_sane() {
-        let (p, profiles) = setup(
-            COUNTER,
-            &["hello 123 world", "9 8 7 6", "aaaa", "   12"],
-        );
+        let (p, profiles) = setup(COUNTER, &["hello 123 world", "9 8 7 6", "aaaa", "   12"]);
         let s = score_program(&p, &profiles);
         for v in s
             .intra
@@ -316,10 +313,7 @@ mod tests {
 
     #[test]
     fn intra_perfect_on_straight_line() {
-        let (p, profiles) = setup(
-            "int main(void) { int x = 1; x++; return x; }",
-            &["", ""],
-        );
+        let (p, profiles) = setup("int main(void) { int x = 1; x++; return x; }", &["", ""]);
         let ia = estimate_program(&p, IntraEstimator::Smart);
         let s = intra_score(&p, &ia, &profiles, 0.5);
         assert!((s - 1.0).abs() < 1e-9);

@@ -161,8 +161,7 @@ fn one_pass(program: &Program, local: &HashMap<u32, f64>, scale: &[f64]) -> Vec<
         let total_count: u32 = module.side.address_taken.values().sum();
         if total_count > 0 {
             for (&fid, &count) in &module.side.address_taken {
-                inv[fid.0 as usize] +=
-                    total_indirect * (count as f64) / (total_count as f64);
+                inv[fid.0 as usize] += total_indirect * (count as f64) / (total_count as f64);
             }
         }
     }
@@ -252,15 +251,11 @@ fn markov_arcs(program: &Program, local: &HashMap<u32, f64>) -> (usize, Vec<(usi
     let total_count: u32 = module.side.address_taken.values().sum();
     if total_count > 0 {
         for (&fid, &count) in &module.side.address_taken {
-            *merged
-                .entry((ptr_node, fid.0 as usize))
-                .or_insert(0.0) += count as f64 / total_count as f64;
+            *merged.entry((ptr_node, fid.0 as usize)).or_insert(0.0) +=
+                count as f64 / total_count as f64;
         }
     }
-    let arcs = merged
-        .into_iter()
-        .map(|((s, d), w)| (s, d, w))
-        .collect();
+    let arcs = merged.into_iter().map(|((s, d), w)| (s, d, w)).collect();
     (n + 1, arcs)
 }
 
@@ -312,10 +307,7 @@ fn markov(program: &Program, intra: &IntraEstimates) -> Vec<f64> {
     }
     let sccs = tarjan_scc(&adj);
     for scc in &sccs {
-        let nontrivial = scc.len() > 1
-            || arcs
-                .iter()
-                .any(|&(s, d, _)| s == scc[0] && d == scc[0]);
+        let nontrivial = scc.len() > 1 || arcs.iter().any(|&(s, d, _)| s == scc[0] && d == scc[0]);
         if !nontrivial {
             continue;
         }
@@ -462,9 +454,7 @@ mod tests {
         );
         let cs = estimate_invocations(&p, &intra, InterEstimator::CallSite);
         let direct = estimate_invocations(&p, &intra, InterEstimator::Direct);
-        assert!(
-            (by_name(&p, &direct, "fact") - 5.0 * by_name(&p, &cs, "fact")).abs() < 1e-9
-        );
+        assert!((by_name(&p, &direct, "fact") - 5.0 * by_name(&p, &cs, "fact")).abs() < 1e-9);
     }
 
     #[test]
@@ -480,9 +470,7 @@ mod tests {
         let direct = estimate_invocations(&p, &intra, InterEstimator::Direct);
         let allrec = estimate_invocations(&p, &intra, InterEstimator::AllRec);
         // direct does not see the mutual cycle; all-rec does.
-        assert!(
-            (by_name(&p, &allrec, "even") - 5.0 * by_name(&p, &direct, "even")).abs() < 1e-9
-        );
+        assert!((by_name(&p, &allrec, "even") - 5.0 * by_name(&p, &direct, "even")).abs() < 1e-9);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! conditions / `for` steps); those map onto CFG blocks through each
 //! block's `anchor`.
 
-use crate::branch::{predict_module, predict_module_with, PredictorConfig, Prediction};
+use crate::branch::{predict_module, predict_module_with, Prediction, PredictorConfig};
 use flowgraph::{Cfg, Program, Terminator};
 use linsolve::FlowSystem;
 use minic::ast::{NodeId, Stmt, StmtKind};
@@ -151,12 +151,8 @@ fn estimate_with_trips(
     trips: &HashMap<BranchId, f64>,
 ) -> Vec<f64> {
     match which {
-        IntraEstimator::Loop => {
-            ast_walk_blocks(program, f, predictions, false, options, trips)
-        }
-        IntraEstimator::Smart => {
-            ast_walk_blocks(program, f, predictions, true, options, trips)
-        }
+        IntraEstimator::Loop => ast_walk_blocks(program, f, predictions, false, options, trips),
+        IntraEstimator::Smart => ast_walk_blocks(program, f, predictions, true, options, trips),
         IntraEstimator::Markov => markov_blocks_with(program, f, predictions, trips),
     }
 }
@@ -415,16 +411,9 @@ pub fn edge_probabilities(
                     *weight.entry(t).or_insert(0.0) += 1.0;
                 }
                 let assigned: f64 = weight.values().sum();
-                let rest = (total as f64 - assigned).max(if info.has_default {
-                    1.0
-                } else {
-                    0.0
-                });
-                *weight.entry(*default).or_insert(0.0) += rest.max(if assigned == 0.0 {
-                    1.0
-                } else {
-                    0.0
-                });
+                let rest = (total as f64 - assigned).max(if info.has_default { 1.0 } else { 0.0 });
+                *weight.entry(*default).or_insert(0.0) +=
+                    rest.max(if assigned == 0.0 { 1.0 } else { 0.0 });
                 let sum: f64 = weight.values().sum::<f64>().max(1.0);
                 weight.into_iter().map(|(t, w)| (t, w / sum)).collect()
             }

@@ -54,9 +54,9 @@
 pub mod branch;
 pub mod callsite;
 pub mod eval;
+pub mod global;
 pub mod inter;
 pub mod intra;
-pub mod global;
 pub mod metric;
 pub mod missrate;
 pub mod tripcount;

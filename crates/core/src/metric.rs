@@ -22,7 +22,11 @@
 fn quantile_mass(keys: &[f64], values: &[f64], m: f64) -> f64 {
     debug_assert_eq!(keys.len(), values.len());
     let mut order: Vec<usize> = (0..keys.len()).collect();
-    order.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        keys[b]
+            .partial_cmp(&keys[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut remaining = m;
     let mut mass = 0.0;

@@ -85,10 +85,7 @@ pub fn miss_rates(
             }
             total += dynamic;
             // Static.
-            let taken = predictions
-                .get(&b.id)
-                .map(|pr| pr.taken)
-                .unwrap_or(true);
+            let taken = predictions.get(&b.id).map(|pr| pr.taken).unwrap_or(true);
             static_miss += if taken { n } else { t };
             // Profile (leave-one-out majority, ties predict taken).
             let prof_taken = match &agg {

@@ -92,12 +92,8 @@ fn init_binding(module: &Module, init: Option<&Stmt>) -> Option<(Resolution, i64
 /// returning (var, k).
 fn step_stride(module: &Module, step: &Expr) -> Option<(Resolution, i64)> {
     match &step.kind {
-        ExprKind::Unary(UnOp::PostInc | UnOp::PreInc, inner) => {
-            Some((var_of(module, inner)?, 1))
-        }
-        ExprKind::Unary(UnOp::PostDec | UnOp::PreDec, inner) => {
-            Some((var_of(module, inner)?, -1))
-        }
+        ExprKind::Unary(UnOp::PostInc | UnOp::PreInc, inner) => Some((var_of(module, inner)?, 1)),
+        ExprKind::Unary(UnOp::PostDec | UnOp::PreDec, inner) => Some((var_of(module, inner)?, -1)),
         ExprKind::Assign(Some(BinOp::Add), lhs, rhs) => {
             Some((var_of(module, lhs)?, const_of(rhs)?))
         }
@@ -138,7 +134,7 @@ fn cond_bound(module: &Module, cond: &Expr) -> Option<(Resolution, i64, bool, bo
     // ...or on the right (C1 > i etc.).
     if let (Some(c), Some(v)) = (const_of(a), var_of(module, b)) {
         return match op {
-            BinOp::Gt => Some((v, c, false, true)),  // C1 > i  ≡  i < C1
+            BinOp::Gt => Some((v, c, false, true)), // C1 > i  ≡  i < C1
             BinOp::Ge => Some((v, c, true, true)),
             BinOp::Lt => Some((v, c, false, false)), // C1 < i  ≡  i > C1
             BinOp::Le => Some((v, c, true, false)),
@@ -148,12 +144,7 @@ fn cond_bound(module: &Module, cond: &Expr) -> Option<(Resolution, i64, bool, bo
     None
 }
 
-fn analyze_for(
-    module: &Module,
-    init: Option<&Stmt>,
-    cond: &Expr,
-    step: &Expr,
-) -> Option<f64> {
+fn analyze_for(module: &Module, init: Option<&Stmt>, cond: &Expr, step: &Expr) -> Option<f64> {
     let (iv, c0) = init_binding(module, init)?;
     let (sv, k) = step_stride(module, step)?;
     let (cv, c1, inclusive, ascending) = cond_bound(module, cond)?;
@@ -245,10 +236,10 @@ mod tests {
 
     #[test]
     fn non_constant_bound_is_unrecognized() {
-        assert!(trips(
-            "int f(int n) { int i, s = 0; for (i = 0; i < n; i++) s++; return s; }"
-        )
-        .is_empty());
+        assert!(
+            trips("int f(int n) { int i, s = 0; for (i = 0; i < n; i++) s++; return s; }")
+                .is_empty()
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ fn pointer_only_program_distributes_via_static_counts() {
         "#,
     );
     let est = estimate_invocations(&p, &ia, InterEstimator::Markov);
-    let (a, b, c) = (of(&p, &est, "op_a"), of(&p, &est, "op_b"), of(&p, &est, "op_c"));
+    let (a, b, c) = (
+        of(&p, &est, "op_a"),
+        of(&p, &est, "op_b"),
+        of(&p, &est, "op_c"),
+    );
     // op_a is referenced twice statically: twice the share of b and c.
     assert!((a / b - 2.0).abs() < 1e-6, "a={a} b={b}");
     assert!((b / c - 1.0).abs() < 1e-6, "b={b} c={c}");

@@ -1,0 +1,312 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the slice of Criterion's API its benches use: benchmark
+//! groups, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! simple adaptive wall-clock loop: each benchmark is warmed up once,
+//! then sampled until either the configured sample count or a time
+//! budget is reached, and the median per-iteration time is reported.
+//!
+//! Like the real crate, the harness understands the arguments Cargo
+//! passes it: a positional substring filters benchmark ids, and
+//! `--test` (what `cargo test` uses for `harness = false` targets)
+//! runs every benchmark body exactly once without timing.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    /// Per-iteration durations collected by [`Bencher::iter`].
+    samples: Vec<Duration>,
+    /// Iterations to run (1 in `--test` mode).
+    target_samples: usize,
+    /// Stop sampling after this much measured time.
+    budget: Duration,
+    /// Skip timing entirely (`--test` mode).
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly, recording one wall-clock sample per run.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        if self.test_mode {
+            std_black_box(body());
+            return;
+        }
+        // Warm-up (also primes caches and faults in lazy state).
+        std_black_box(body());
+        let mut spent = Duration::ZERO;
+        while self.samples.len() < self.target_samples && spent < self.budget {
+            let start = Instant::now();
+            std_black_box(body());
+            let dt = start.elapsed();
+            spent += dt;
+            self.samples.push(dt);
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples to collect per benchmark (default 100).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the time budget is fixed.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+            budget: Duration::from_secs(3),
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("{full}: ok (test mode)");
+            return;
+        }
+        bencher.samples.sort();
+        if bencher.samples.is_empty() {
+            println!("{full}: no samples collected");
+            return;
+        }
+        let median = bencher.samples[bencher.samples.len() / 2];
+        let lo = bencher.samples[0];
+        let hi = bencher.samples[bencher.samples.len() - 1];
+        println!(
+            "{full}\n                        time:   [{} {} {}]  ({} samples)",
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi),
+            bencher.samples.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness: argument handling plus group construction.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Applies the command-line arguments Cargo forwards to bench
+    /// binaries: `--test` runs bodies once; a positional argument
+    /// filters benchmark ids by substring; other flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    // Flags with a possible value; skip it if present.
+                    if matches!(
+                        arg.as_str(),
+                        "--profile-time"
+                            | "--save-baseline"
+                            | "--baseline"
+                            | "--measurement-time"
+                            | "--warm-up-time"
+                            | "--sample-size"
+                    ) {
+                        let _ = args.next();
+                    }
+                }
+                flag if flag.starts_with("--") => {}
+                positional => self.filter = Some(positional.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, &mut f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("solve", 100).id, "solve/100");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut ran = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        // Warm-up + at least one sample.
+        assert!(ran >= 2, "{ran}");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("skipped", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

@@ -82,12 +82,7 @@ impl Dominators {
     }
 }
 
-fn intersect(
-    idom: &[Option<BlockId>],
-    order: &[usize],
-    mut a: BlockId,
-    mut b: BlockId,
-) -> BlockId {
+fn intersect(idom: &[Option<BlockId>], order: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
     while a != b {
         while order[a.0 as usize] > order[b.0 as usize] {
             a = idom[a.0 as usize].expect("processed block has an idom");
@@ -118,7 +113,7 @@ impl PostDominators {
     pub fn compute(cfg: &Cfg) -> Self {
         let n = cfg.blocks.len();
         let exit = n; // virtual exit node
-        // Reversed adjacency, with Return blocks feeding the exit.
+                      // Reversed adjacency, with Return blocks feeding the exit.
         let mut radj = vec![Vec::new(); n + 1];
         let mut rpreds = vec![Vec::new(); n + 1]; // successors in reversed graph's terms
         for b in &cfg.blocks {
@@ -211,12 +206,7 @@ impl PostDominators {
     }
 }
 
-fn intersect_usize(
-    idom: &[Option<usize>],
-    order: &[usize],
-    mut a: usize,
-    mut b: usize,
-) -> usize {
+fn intersect_usize(idom: &[Option<usize>], order: &[usize], mut a: usize, mut b: usize) -> usize {
     while a != b {
         while order[a] > order[b] {
             a = idom[a].expect("processed node has an idom");

@@ -8,7 +8,7 @@
 
 use crate::cfg::BlockId;
 use crate::Program;
-use minic::sema::{CalleeKind, CallSiteId, FuncId};
+use minic::sema::{CallSiteId, CalleeKind, FuncId};
 use std::collections::HashMap;
 
 /// One call-graph arc: a single call site.
@@ -90,9 +90,7 @@ impl CallGraph {
 
     /// All direct arcs into `f`.
     pub fn calls_to(&self, f: FuncId) -> impl Iterator<Item = &CallArc> {
-        self.direct
-            .iter()
-            .filter(move |a| a.callee == Some(f))
+        self.direct.iter().filter(move |a| a.callee == Some(f))
     }
 
     /// Indirect arcs out of `f`.

@@ -1,8 +1,8 @@
 //! Graphviz (DOT) rendering of CFGs and call graphs, for debugging and
 //! for reproducing the paper's Figure 6 (the annotated `strchr` CFG).
 
-use crate::cfg::{Cfg, Terminator};
 use crate::callgraph::CallGraph;
+use crate::cfg::{Cfg, Terminator};
 use minic::sema::Module;
 use std::fmt::Write as _;
 

@@ -160,8 +160,7 @@ mod tests {
 
     #[test]
     fn for_loop_blocks() {
-        let p =
-            program("int f(int n) { int i, s = 0; for (i = 0; i < n; i++) s += i; return s; }");
+        let p = program("int f(int n) { int i, s = 0; for (i = 0; i < n; i++) s += i; return s; }");
         let cfg = p.cfg(p.function_id("f").unwrap());
         // entry, header, body(+latch merged), exit.
         assert!(cfg.len() >= 4 && cfg.len() <= 5, "got {} blocks", cfg.len());

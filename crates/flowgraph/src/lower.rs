@@ -307,10 +307,7 @@ impl Lowerer<'_> {
                         self.lower_stmt(st);
                     }
                     // Fall through to the next section (or exit).
-                    let next = section_blocks
-                        .get(i + 1)
-                        .copied()
-                        .unwrap_or(exit);
+                    let next = section_blocks.get(i + 1).copied().unwrap_or(exit);
                     self.set_term(Terminator::Goto(next));
                 }
                 self.break_stack.pop();
@@ -357,13 +354,7 @@ impl Lowerer<'_> {
     }
 
     /// Flattens a local initializer into `Init*` instructions.
-    fn flatten_local_init(
-        &mut self,
-        local: LocalId,
-        ty: &Type,
-        init: &Initializer,
-        word: usize,
-    ) {
+    fn flatten_local_init(&mut self, local: LocalId, ty: &Type, init: &Initializer, word: usize) {
         match (ty, init) {
             (Type::Array(elem, n), Initializer::List(items)) => {
                 let esize = elem.size_words(&self.module.structs);

@@ -58,9 +58,7 @@ fn idom_of_entry_is_entry() {
 
 #[test]
 fn join_is_dominated_only_by_entry_in_a_diamond() {
-    let p = program(
-        "int f(int a) { int r; if (a) { r = 1; } else { r = 2; } return r; }",
-    );
+    let p = program("int f(int a) { int r; if (a) { r = 1; } else { r = 2; } return r; }");
     let cfg = p.cfg(p.function_id("f").unwrap());
     let dom = Dominators::compute(cfg);
     // Find the join block (the one with the Return).
@@ -210,7 +208,11 @@ fn postdominators_in_a_diamond() {
         );
     }
     // Neither arm post-dominates the entry.
-    for arm in cfg.blocks.iter().filter(|b| b.id != cfg.entry && b.id != join) {
+    for arm in cfg
+        .blocks
+        .iter()
+        .filter(|b| b.id != cfg.entry && b.id != join)
+    {
         assert!(!pdom.post_dominates(arm.id, cfg.entry));
     }
 }
@@ -258,9 +260,7 @@ fn postdominators_tolerate_infinite_loops() {
 #[test]
 fn loop_body_postdominated_by_header_in_simple_loop() {
     use flowgraph::analysis::PostDominators;
-    let p = program(
-        "int f(int n) { int i, s = 0; for (i = 0; i < n; i++) s += i; return s; }",
-    );
+    let p = program("int f(int n) { int i, s = 0; for (i = 0; i < n; i++) s += i; return s; }");
     let cfg = p.cfg(p.function_id("f").unwrap());
     let pdom = PostDominators::compute(cfg);
     let loops = natural_loops(cfg);

@@ -1,12 +1,21 @@
-//! Dense linear-system solving for the Markov frequency models.
+//! Linear-system solving for the Markov frequency models.
 //!
 //! The PLDI 1994 estimators translate a control-flow graph (or call graph)
 //! into a system of `n` linear equations in `n` unknowns — one per basic
 //! block or function — and solve it with "ordinary methods for linear
-//! systems" (§5.1). This crate provides that substrate: a dense matrix
-//! type, Gaussian elimination with partial pivoting, and a damped
-//! power-iteration fallback for systems the direct method cannot handle
-//! (e.g. graphs containing loops that can never exit, which make `I - A`
+//! systems" (§5.1). This crate provides that substrate two ways:
+//!
+//! - the default sparse, SCC-aware solver ([`sparse`], used by
+//!   [`FlowSystem::solve`]): CSR adjacency, Tarjan condensation, and
+//!   per-component solves, so the acyclic bulk of a CFG costs
+//!   `O(V + E)` instead of `O(n³)`;
+//! - the original dense path ([`Matrix`] Gaussian elimination with
+//!   partial pivoting plus a globally damped power-iteration fallback,
+//!   [`FlowSystem::solve_dense`]), kept as the reference baseline for
+//!   property tests and the `solver_scaling` bench.
+//!
+//! The damped fallback handles systems no direct method can (e.g.
+//! graphs containing loops that can never exit, which make `I - A`
 //! singular).
 //!
 //! # Examples
@@ -33,9 +42,11 @@
 
 mod matrix;
 mod solve;
+pub mod sparse;
 
 pub use matrix::Matrix;
 pub use solve::{solve_flow, FlowSolveError, FlowSystem, SolveError};
+pub use sparse::{solve_sparse, tarjan_scc, Csr};
 
 #[cfg(test)]
 mod tests {

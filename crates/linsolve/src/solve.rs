@@ -1,4 +1,5 @@
-//! Flow-system solving on top of [`Matrix`].
+//! Flow-system solving on top of the sparse SCC solver (with the dense
+//! [`Matrix`] path retained as a reference baseline).
 //!
 //! Both Markov models in the paper have the same shape: a directed graph
 //! whose arcs carry multipliers, plus an *injection* (the entry block gets
@@ -10,11 +11,16 @@
 //! ```
 //!
 //! i.e. `(I − Wᵀ) x = inject` where `W[s][t]` is the total arc weight from
-//! `s` to `t`. [`FlowSystem`] builds and solves that system.
+//! `s` to `t`. [`FlowSystem`] builds and solves that system. The default
+//! [`FlowSystem::solve`] exploits the graph's sparsity and SCC structure
+//! (see [`crate::sparse`]); [`FlowSystem::solve_dense`] is the original
+//! `O(n³)` Gaussian elimination, kept as the oracle the property tests
+//! and the `solver_scaling` bench compare against.
 
 use std::error::Error;
 use std::fmt;
 
+use crate::sparse;
 use crate::Matrix;
 
 /// Error returned by [`Matrix::solve`].
@@ -60,8 +66,14 @@ pub enum FlowSolveError {
     DidNotConverge {
         /// Iterations attempted before giving up.
         iterations: usize,
+        /// The max-norm step size at the final iteration — how far the
+        /// fixed point still was when the budget ran out. Useful for
+        /// diagnosing pathological systems (e.g. the Figure 8
+        /// recursion): a residual just above tolerance means "almost
+        /// settled", a huge one means genuine divergence.
+        residual: f64,
     },
-    /// An arc referenced a node index out of range.
+    /// An arc or injection referenced a node index out of range.
     NodeOutOfRange {
         /// The offending node index.
         node: usize,
@@ -73,8 +85,15 @@ pub enum FlowSolveError {
 impl fmt::Display for FlowSolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FlowSolveError::DidNotConverge { iterations } => {
-                write!(f, "flow iteration did not converge after {iterations} rounds")
+            FlowSolveError::DidNotConverge {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "flow iteration did not converge after {iterations} rounds \
+                     (final residual {residual:.3e})"
+                )
             }
             FlowSolveError::NodeOutOfRange { node, len } => {
                 write!(f, "arc references node {node} but system has {len} nodes")
@@ -107,6 +126,9 @@ pub struct FlowSystem {
     n: usize,
     arcs: Vec<(usize, usize, f64)>,
     inject: Vec<f64>,
+    /// First out-of-range node passed to [`FlowSystem::inject`];
+    /// reported by [`FlowSystem::solve`] like a malformed arc.
+    bad_inject: Option<usize>,
 }
 
 impl FlowSystem {
@@ -116,6 +138,7 @@ impl FlowSystem {
             n,
             arcs: Vec::new(),
             inject: vec![0.0; n],
+            bad_inject: None,
         }
     }
 
@@ -131,10 +154,25 @@ impl FlowSystem {
 
     /// Adds `amount` of external flow into `node` (e.g. 1.0 for the entry).
     ///
-    /// # Panics
+    /// An out-of-range `node` is recorded and reported as
+    /// [`FlowSolveError::NodeOutOfRange`] by [`FlowSystem::solve`],
+    /// matching how [`FlowSystem::add_arc`] treats bad indices.
     ///
-    /// Panics if `node` is out of range.
+    /// ```
+    /// use linsolve::{FlowSolveError, FlowSystem};
+    ///
+    /// let mut sys = FlowSystem::new(2);
+    /// sys.inject(7, 1.0); // out of range: deferred, not a panic
+    /// assert!(matches!(
+    ///     sys.solve(),
+    ///     Err(FlowSolveError::NodeOutOfRange { node: 7, len: 2 })
+    /// ));
+    /// ```
     pub fn inject(&mut self, node: usize, amount: f64) {
+        if node >= self.n {
+            self.bad_inject.get_or_insert(node);
+            return;
+        }
         self.inject[node] += amount;
     }
 
@@ -147,6 +185,14 @@ impl FlowSystem {
     /// Iterates over the (src, dst, accumulated weight) arcs.
     pub fn arcs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         self.arcs.iter().copied()
+    }
+
+    /// Checks indices recorded by [`FlowSystem::inject`].
+    fn validate(&self) -> Result<(), FlowSolveError> {
+        match self.bad_inject {
+            Some(node) => Err(FlowSolveError::NodeOutOfRange { node, len: self.n }),
+            None => Ok(()),
+        }
     }
 
     /// Builds the dense `(I − Wᵀ)` matrix of the system.
@@ -166,24 +212,45 @@ impl FlowSystem {
 
     /// Solves for the frequency of every node.
     ///
-    /// A direct Gaussian solve is attempted first; if the system is
-    /// singular (e.g. a loop with no exit makes `I − Wᵀ` rank-deficient)
-    /// a damped fixed-point iteration is used instead, which corresponds
-    /// to truncating the infinite execution after many steps.
+    /// The graph is condensed into strongly connected components and
+    /// solved component-by-component in topological order: acyclic
+    /// regions cost `O(V + E)`, and each cyclic component gets a small
+    /// local direct solve, with a damped fixed-point iteration (the
+    /// truncation of the infinite execution) only when that component
+    /// is singular — e.g. a loop that can never exit. See
+    /// [`crate::sparse`] for the full architecture.
     ///
     /// # Errors
     ///
-    /// Returns [`FlowSolveError::NodeOutOfRange`] for malformed arcs and
-    /// [`FlowSolveError::DidNotConverge`] if the fallback iteration fails
-    /// to settle.
+    /// Returns [`FlowSolveError::NodeOutOfRange`] for malformed arcs or
+    /// injections and [`FlowSolveError::DidNotConverge`] if a singular
+    /// component's fallback iteration fails to settle.
     pub fn solve(&self) -> Result<Vec<f64>, FlowSolveError> {
+        self.validate()?;
+        sparse::solve_sparse(self.n, &self.arcs, &self.inject)
+    }
+
+    /// Solves the system with the original dense `O(n³)` elimination,
+    /// falling back to a globally damped fixed-point iteration when the
+    /// matrix is singular.
+    ///
+    /// [`FlowSystem::solve`] is faster on every graph and identical in
+    /// result up to floating-point reassociation; this path is kept as
+    /// the reference implementation the property tests oracle against
+    /// and the `solver_scaling` bench uses as its baseline.
+    ///
+    /// # Errors
+    ///
+    /// See [`FlowSystem::solve`].
+    pub fn solve_dense(&self) -> Result<Vec<f64>, FlowSolveError> {
+        self.validate()?;
         if self.n == 0 {
             return Ok(Vec::new());
         }
         let m = self.system_matrix()?;
         match m.solve(&self.inject) {
             Ok(x) => Ok(x),
-            Err(SolveError::Singular { .. }) => self.solve_damped(0.999),
+            Err(SolveError::Singular { .. }) => self.solve_damped(sparse::DAMPING),
             Err(SolveError::DimensionMismatch { .. }) => {
                 unreachable!("system_matrix is square by construction")
             }
@@ -192,25 +259,26 @@ impl FlowSystem {
 
     /// Damped fixed-point iteration: `x ← inject + damping · Wᵀ x`.
     fn solve_damped(&self, damping: f64) -> Result<Vec<f64>, FlowSolveError> {
-        const MAX_ITERS: usize = 60_000;
         let mut x = self.inject.clone();
-        for _ in 0..MAX_ITERS {
+        let mut residual = f64::INFINITY;
+        for _ in 0..sparse::MAX_ITERS {
             let mut next = self.inject.clone();
             for &(src, dst, w) in &self.arcs {
                 next[dst] += damping * w * x[src];
             }
-            let delta: f64 = next
+            residual = next
                 .iter()
                 .zip(&x)
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
             x = next;
-            if delta < 1e-9 {
+            if residual < sparse::TOLERANCE {
                 return Ok(x);
             }
         }
         Err(FlowSolveError::DidNotConverge {
-            iterations: MAX_ITERS,
+            iterations: sparse::MAX_ITERS,
+            residual,
         })
     }
 }
@@ -271,8 +339,8 @@ mod tests {
 
     #[test]
     fn inescapable_loop_falls_back_to_damped() {
-        // Probability-1 self loop: direct solve is singular; the damped
-        // iteration yields a large but finite frequency.
+        // Probability-1 self loop: the direct treatment is singular; the
+        // damped model yields a large but finite frequency.
         let x = solve_flow(1, &[(0, 0, 1.0)], &[(0, 1.0)]).unwrap();
         assert!(x[0] > 100.0);
         assert!(x[0].is_finite());
@@ -289,14 +357,58 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_inject_is_an_error_not_a_panic() {
+        let mut sys = FlowSystem::new(2);
+        sys.inject(0, 1.0);
+        sys.inject(9, 1.0);
+        sys.add_arc(0, 1, 0.5);
+        assert!(matches!(
+            sys.solve(),
+            Err(FlowSolveError::NodeOutOfRange { node: 9, len: 2 })
+        ));
+        assert!(matches!(
+            sys.solve_dense(),
+            Err(FlowSolveError::NodeOutOfRange { node: 9, len: 2 })
+        ));
+    }
+
+    #[test]
     fn empty_system_solves_to_empty() {
         assert!(FlowSystem::new(0).solve().unwrap().is_empty());
     }
 
     #[test]
+    fn sparse_matches_dense_on_strchr() {
+        // The Figure 7 system: a loop, a diamond, and two exits.
+        let mut sys = FlowSystem::new(6);
+        sys.inject(0, 1.0);
+        for (s, d, w) in [
+            (0, 1, 1.0),
+            (1, 2, 0.8),
+            (2, 3, 0.2),
+            (2, 4, 0.8),
+            (4, 1, 1.0),
+            (1, 5, 0.2),
+        ] {
+            sys.add_arc(s, d, w);
+        }
+        let sparse = sys.solve().unwrap();
+        let dense = sys.solve_dense().unwrap();
+        for (a, b) in sparse.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-9, "{sparse:?} vs {dense:?}");
+        }
+        assert!((sparse[1] - 2.7778).abs() < 1e-3);
+    }
+
+    #[test]
     fn errors_display() {
-        let e = FlowSolveError::DidNotConverge { iterations: 5 };
-        assert!(format!("{e}").contains("5"));
+        let e = FlowSolveError::DidNotConverge {
+            iterations: 5,
+            residual: 0.25,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("5"));
+        assert!(msg.contains("2.500e-1"), "{msg}");
         let e = SolveError::Singular { column: 2 };
         assert!(format!("{e}").contains("column 2"));
     }

@@ -484,7 +484,11 @@ mod tests {
         let e = Expr {
             id: g.fresh(),
             span: Span::default(),
-            kind: ExprKind::Binary(BinOp::Add, Box::new(lit(&mut g, 1)), Box::new(lit(&mut g, 2))),
+            kind: ExprKind::Binary(
+                BinOp::Add,
+                Box::new(lit(&mut g, 1)),
+                Box::new(lit(&mut g, 2)),
+            ),
         };
         let mut n = 0;
         e.walk(&mut |_| n += 1);

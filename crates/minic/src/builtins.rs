@@ -127,9 +127,7 @@ impl Builtin {
         match self {
             Builtin::Malloc | Builtin::Calloc => Type::Ptr(Box::new(Type::Void)),
             Builtin::Memset | Builtin::Memcpy => Type::Ptr(Box::new(Type::Void)),
-            Builtin::Strcpy | Builtin::Strncpy | Builtin::Strcat => {
-                Type::Ptr(Box::new(Type::Char))
-            }
+            Builtin::Strcpy | Builtin::Strncpy | Builtin::Strcat => Type::Ptr(Box::new(Type::Char)),
             Builtin::Sqrt
             | Builtin::Fabs
             | Builtin::Sin
@@ -164,7 +162,12 @@ mod tests {
 
     #[test]
     fn lookup_round_trips() {
-        for b in [Builtin::Printf, Builtin::Exit, Builtin::Sqrt, Builtin::Memcpy] {
+        for b in [
+            Builtin::Printf,
+            Builtin::Exit,
+            Builtin::Sqrt,
+            Builtin::Memcpy,
+        ] {
             assert_eq!(Builtin::from_name(b.name()), Some(b));
         }
         assert_eq!(Builtin::from_name("frobnicate"), None);

@@ -63,7 +63,12 @@ impl CompileError {
 
     /// Formats the error with its line number in `src`.
     pub fn render(&self, src: &str) -> String {
-        format!("{}: line {}: {}", self.kind, self.span.line(src), self.message)
+        format!(
+            "{}: line {}: {}",
+            self.kind,
+            self.span.line(src),
+            self.message
+        )
     }
 }
 

@@ -226,14 +226,20 @@ mod tests {
     #[test]
     fn folds_arithmetic() {
         assert_eq!(fold_init("int x = 2 + 3 * 4;"), Some(ConstValue::Int(14)));
-        assert_eq!(fold_init("int x = (1 << 4) | 3;"), Some(ConstValue::Int(19)));
+        assert_eq!(
+            fold_init("int x = (1 << 4) | 3;"),
+            Some(ConstValue::Int(19))
+        );
         assert_eq!(fold_init("int x = -5 % 3;"), Some(ConstValue::Int(-2)));
         assert_eq!(fold_init("int x = 10 / 4;"), Some(ConstValue::Int(2)));
     }
 
     #[test]
     fn folds_floats_with_promotion() {
-        assert_eq!(fold_init("float x = 1 + 0.5;"), Some(ConstValue::Float(1.5)));
+        assert_eq!(
+            fold_init("float x = 1 + 0.5;"),
+            Some(ConstValue::Float(1.5))
+        );
         assert_eq!(fold_init("int x = 2.5 > 2;"), Some(ConstValue::Int(1)));
     }
 
@@ -248,7 +254,10 @@ mod tests {
     #[test]
     fn folds_casts() {
         assert_eq!(fold_init("int x = (int) 2.9;"), Some(ConstValue::Int(2)));
-        assert_eq!(fold_init("float x = (float) 3;"), Some(ConstValue::Float(3.0)));
+        assert_eq!(
+            fold_init("float x = (float) 3;"),
+            Some(ConstValue::Float(3.0))
+        );
     }
 
     #[test]

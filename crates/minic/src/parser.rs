@@ -348,8 +348,7 @@ impl Parser {
         }
         let (name, ty, dspan) = self.declarator(&base, false)?;
 
-        if self.peek() == &TokenKind::Punct(Punct::LParen) && !matches!(ty, TypeName::Array(_, _))
-        {
+        if self.peek() == &TokenKind::Punct(Punct::LParen) && !matches!(ty, TypeName::Array(_, _)) {
             // A function: `ty name ( params ) body-or-;`
             return self.function(name, ty, start).map(Item::Function);
         }
@@ -1248,7 +1247,8 @@ mod tests {
 
     #[test]
     fn dangling_else_binds_to_nearest_if() {
-        let unit = parse_ok("int f(int a, int b) { if (a) if (b) return 1; else return 2; return 0; }");
+        let unit =
+            parse_ok("int f(int a, int b) { if (a) if (b) return 1; else return 2; return 0; }");
         let f = only_fn(&unit);
         let Some(Stmt {
             kind: StmtKind::Block(stmts),

@@ -77,10 +77,7 @@ impl Printer {
                 self.type_name(inner, &format!("*{name}"));
             }
             TypeName::Array(inner, dim) => {
-                let dim_text = dim
-                    .as_ref()
-                    .map(|e| print_expr(e))
-                    .unwrap_or_default();
+                let dim_text = dim.as_ref().map(|e| print_expr(e)).unwrap_or_default();
                 // Arrays bind tighter than pointers: parenthesize a
                 // pointer declarator.
                 let decl = if name.starts_with('*') {
@@ -631,9 +628,8 @@ mod tests {
         for bench in suite_sources() {
             let unit1 = parse(bench).expect("suite parses");
             let printed1 = print_unit(&unit1);
-            let unit2 = parse(&printed1).unwrap_or_else(|e| {
-                panic!("suite reparse failed: {}", e.render(&printed1))
-            });
+            let unit2 = parse(&printed1)
+                .unwrap_or_else(|e| panic!("suite reparse failed: {}", e.render(&printed1)));
             let printed2 = print_unit(&unit2);
             assert_eq!(printed1, printed2);
         }

@@ -100,7 +100,10 @@ pub enum BranchKind {
 impl BranchKind {
     /// Whether this branch controls a loop back edge.
     pub fn is_loop(self) -> bool {
-        matches!(self, BranchKind::While | BranchKind::DoWhile | BranchKind::For)
+        matches!(
+            self,
+            BranchKind::While | BranchKind::DoWhile | BranchKind::For
+        )
     }
 }
 
@@ -432,9 +435,7 @@ impl Checker {
             let mut next = 0i64;
             for (name, value) in &ed.variants {
                 if self.enum_consts.contains_key(name) {
-                    return Err(
-                        self.err(ed.span, format!("enum constant `{name}` redefined"))
-                    );
+                    return Err(self.err(ed.span, format!("enum constant `{name}` redefined")));
                 }
                 if let Some(e) = value {
                     let env = SizeEnv { checker: self };
@@ -585,10 +586,9 @@ impl Checker {
                         }
                         if fd.body.is_some() {
                             if self.defined_fns.contains(&fid) {
-                                return Err(self.err(
-                                    fd.span,
-                                    format!("function `{}` redefined", fd.name),
-                                ));
+                                return Err(
+                                    self.err(fd.span, format!("function `{}` redefined", fd.name))
+                                );
                             }
                             self.defined_fns.insert(fid);
                         }
@@ -620,9 +620,7 @@ impl Checker {
                             );
                         }
                         if self.global_ids.contains_key(&d.name) {
-                            return Err(
-                                self.err(d.span, format!("global `{}` redefined", d.name))
-                            );
+                            return Err(self.err(d.span, format!("global `{}` redefined", d.name)));
                         }
                         let size = ty.size_words(&self.structs);
                         let id = GlobalId(self.globals.len() as u32);
@@ -1162,9 +1160,7 @@ impl Checker {
                     // Compound assignment: p += n allowed for pointers.
                     if tl.is_pointer_like() {
                         if !matches!(op, BinOp::Add | BinOp::Sub) || !tr.is_integral() {
-                            return Err(
-                                self.err(e.span, "invalid compound assignment on pointer")
-                            );
+                            return Err(self.err(e.span, "invalid compound assignment on pointer"));
                         }
                     } else if !tl.is_arithmetic() || !tr.is_arithmetic() {
                         return Err(self.err(e.span, "compound assignment on non-arithmetic"));
@@ -1191,9 +1187,7 @@ impl Checker {
                     match tb.pointee() {
                         Some(Type::Struct(sid)) => *sid,
                         _ => {
-                            return Err(
-                                self.err(e.span, format!("`->` on non-struct-pointer {tb}"))
-                            )
+                            return Err(self.err(e.span, format!("`->` on non-struct-pointer {tb}")))
                         }
                     }
                 } else {
@@ -1203,15 +1197,12 @@ impl Checker {
                     }
                 };
                 let layout = self.structs.layout(sid);
-                layout
-                    .field(field)
-                    .map(|f| f.ty.clone())
-                    .ok_or_else(|| {
-                        self.err(
-                            e.span,
-                            format!("struct `{}` has no field `{field}`", layout.name),
-                        )
-                    })
+                layout.field(field).map(|f| f.ty.clone()).ok_or_else(|| {
+                    self.err(
+                        e.span,
+                        format!("struct `{}` has no field `{field}`", layout.name),
+                    )
+                })
             }
             ExprKind::Cond(c, t, f) => {
                 self.scalar_cond(c)?;
@@ -1339,12 +1330,7 @@ impl Checker {
                     Err(self.err(e.span, format!("arithmetic on {ta} and {tb}")))
                 }
             }
-            BinOp::Rem
-            | BinOp::Shl
-            | BinOp::Shr
-            | BinOp::BitAnd
-            | BinOp::BitOr
-            | BinOp::BitXor => {
+            BinOp::Rem | BinOp::Shl | BinOp::Shr | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor => {
                 if ta.is_integral() && tb.is_integral() {
                     Ok(Type::Int)
                 } else {
@@ -1355,19 +1341,16 @@ impl Checker {
         }
     }
 
-    fn type_call(
-        &mut self,
-        e: &Expr,
-        callee: &Expr,
-        args: &[Expr],
-    ) -> Result<Type, CompileError> {
+    fn type_call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> Result<Type, CompileError> {
         // Determine callee kind. A bare identifier naming a function or
         // builtin is a direct call and does NOT count as address-taken.
         let mut kind = None;
         if let ExprKind::Ident(name) = &callee.kind {
             match self.lookup(name) {
                 Some(Resolution::Func(fid)) => {
-                    self.side.resolutions.insert(callee.id, Resolution::Func(fid));
+                    self.side
+                        .resolutions
+                        .insert(callee.id, Resolution::Func(fid));
                     let sig = self.functions[fid.0 as usize].sig.clone();
                     self.side
                         .expr_types
@@ -1691,16 +1674,20 @@ mod tests {
         assert!(sema_err("int f(void) { return x; }")
             .message()
             .contains("unknown name"));
-        assert!(sema_err("int f(void) { break; }").message().contains("break"));
+        assert!(sema_err("int f(void) { break; }")
+            .message()
+            .contains("break"));
         assert!(sema_err("int f(void) { goto nowhere; }")
             .message()
             .contains("undefined label"));
         assert!(sema_err("int f(int x) { return f(x, 1); }")
             .message()
             .contains("arguments"));
-        assert!(sema_err("struct s { int x; }; int f(struct s v) { return v.y; }")
-            .message()
-            .contains("no field"));
+        assert!(
+            sema_err("struct s { int x; }; int f(struct s v) { return v.y; }")
+                .message()
+                .contains("no field")
+        );
         assert!(sema_err("int f(void) { int x; return *x; }")
             .message()
             .contains("dereference"));
@@ -1711,9 +1698,11 @@ mod tests {
         assert!(sema_err("struct s { struct s inner; };")
             .message()
             .contains("contains itself"));
-        assert!(sema_err("int f(int n) { switch (n) { case 1: case 1: return 0; } return 1; }")
-            .message()
-            .contains("duplicate case"));
+        assert!(
+            sema_err("int f(int n) { switch (n) { case 1: case 1: return 0; } return 1; }")
+                .message()
+                .contains("duplicate case")
+        );
     }
 
     #[test]

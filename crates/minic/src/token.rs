@@ -296,7 +296,12 @@ mod tests {
 
     #[test]
     fn keyword_round_trip() {
-        for kw in [Keyword::Int, Keyword::Switch, Keyword::Sizeof, Keyword::Goto] {
+        for kw in [
+            Keyword::Int,
+            Keyword::Switch,
+            Keyword::Sizeof,
+            Keyword::Goto,
+        ] {
             assert_eq!(Keyword::lookup(kw.as_str()), Some(kw));
         }
         assert_eq!(Keyword::lookup("banana"), None);

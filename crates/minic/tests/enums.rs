@@ -134,10 +134,8 @@ fn enums_pretty_print_round_trip() {
 fn enum_in_cast_position_is_rejected_gracefully() {
     // `(enum color) x` is not in the cast grammar; it should be a
     // parse error, not a panic.
-    assert!(minic::parser::parse(
-        "enum color { R }; int f(int x) { return (enum color) x; }"
-    )
-    .is_err() || compile(
-        "enum color { R }; int f(int x) { return (enum color) x; }"
-    ).is_ok());
+    assert!(
+        minic::parser::parse("enum color { R }; int f(int x) { return (enum color) x; }").is_err()
+            || compile("enum color { R }; int f(int x) { return (enum color) x; }").is_ok()
+    );
 }

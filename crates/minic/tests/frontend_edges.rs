@@ -83,10 +83,7 @@ fn shadowing_gets_distinct_locals() {
 
 #[test]
 fn for_loop_scope_does_not_leak() {
-    assert!(compile(
-        "int f(void) { for (int i = 0; i < 3; i++) { } return i; }"
-    )
-    .is_err());
+    assert!(compile("int f(void) { for (int i = 0; i < 3; i++) { } return i; }").is_err());
 }
 
 #[test]
@@ -127,10 +124,7 @@ fn locals_shadow_globals_and_functions() {
     body.walk_exprs(&mut |e| {
         if let minic::ast::ExprKind::Ident(name) = &e.kind {
             if name == "value" {
-                assert!(matches!(
-                    m.side.resolutions[&e.id],
-                    Resolution::Local(_)
-                ));
+                assert!(matches!(m.side.resolutions[&e.id], Resolution::Local(_)));
                 found = true;
             }
         }
@@ -166,10 +160,7 @@ fn void_variables_are_rejected() {
 
 #[test]
 fn switch_requires_integer_scrutinee() {
-    assert!(compile(
-        "int f(float x) { switch (x) { case 1: return 1; } return 0; }"
-    )
-    .is_err());
+    assert!(compile("int f(float x) { switch (x) { case 1: return 1; } return 0; }").is_err());
 }
 
 #[test]

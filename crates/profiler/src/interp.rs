@@ -471,8 +471,7 @@ impl<'p> Interp<'p> {
 
     fn alloc_static(&mut self, words: usize) -> u64 {
         let addr = self.data.len() as u64 + 1;
-        self.data
-            .extend(std::iter::repeat_n(Value::Int(0), words));
+        self.data.extend(std::iter::repeat_n(Value::Int(0), words));
         addr
     }
 
@@ -724,8 +723,8 @@ impl<'p> Interp<'p> {
                 pad_to,
             } => {
                 let func = self.program.module.function(self.cur_fn);
-                let base = STACK_BASE
-                    + (self.fp + func.locals[local.0 as usize].offset + word) as u64;
+                let base =
+                    STACK_BASE + (self.fp + func.locals[local.0 as usize].offset + word) as u64;
                 let s = self.program.module.strings[*str_idx].clone();
                 for (i, b) in s.bytes().enumerate() {
                     self.store(base + i as u64, Value::Int(b as i64))?;
@@ -736,8 +735,8 @@ impl<'p> Interp<'p> {
             }
             Instr::InitZero { local, word, len } => {
                 let func = self.program.module.function(self.cur_fn);
-                let base = STACK_BASE
-                    + (self.fp + func.locals[local.0 as usize].offset + word) as u64;
+                let base =
+                    STACK_BASE + (self.fp + func.locals[local.0 as usize].offset + word) as u64;
                 for i in 0..*len as u64 {
                     self.store(base + i, Value::Int(0))?;
                 }
@@ -751,20 +750,15 @@ impl<'p> Interp<'p> {
         self.tick()?;
         match &e.kind {
             ExprKind::Ident(_) => {
-                match self.tables.resolution[e.id.0 as usize]
-                    .expect("sema resolved every name")
-                {
+                match self.tables.resolution[e.id.0 as usize].expect("sema resolved every name") {
                     Resolution::Local(lid) => {
                         let func = self.program.module.function(self.cur_fn);
                         Ok(STACK_BASE + (self.fp + func.locals[lid.0 as usize].offset) as u64)
                     }
                     Resolution::Global(gid) => Ok(self.global_addr[gid.0 as usize]),
-                    Resolution::Func(_)
-                    | Resolution::Builtin(_)
-                    | Resolution::EnumConst(_) => Err(RuntimeError::Other(
-                        "constant is not an lvalue".into(),
-                    )
-                    .into()),
+                    Resolution::Func(_) | Resolution::Builtin(_) | Resolution::EnumConst(_) => {
+                        Err(RuntimeError::Other("constant is not an lvalue".into()).into())
+                    }
                 }
             }
             ExprKind::Unary(UnOp::Deref, inner) => {
@@ -823,19 +817,19 @@ impl<'p> Interp<'p> {
                 let idx = self.tables.str_idx[e.id.0 as usize];
                 Ok(Value::Ptr(self.str_addr[idx as usize]))
             }
-            ExprKind::Ident(_) => match self.tables.resolution[e.id.0 as usize]
-                .expect("sema resolved every name")
-            {
-                Resolution::Func(fid) => Ok(Value::Fn(fid)),
-                Resolution::EnumConst(v) => Ok(Value::Int(v)),
-                Resolution::Builtin(_) => {
-                    Err(RuntimeError::Other("builtin used as a value".into()).into())
+            ExprKind::Ident(_) => {
+                match self.tables.resolution[e.id.0 as usize].expect("sema resolved every name") {
+                    Resolution::Func(fid) => Ok(Value::Fn(fid)),
+                    Resolution::EnumConst(v) => Ok(Value::Int(v)),
+                    Resolution::Builtin(_) => {
+                        Err(RuntimeError::Other("builtin used as a value".into()).into())
+                    }
+                    _ => {
+                        let addr = self.place(e)?;
+                        self.load_from(e, addr)
+                    }
                 }
-                _ => {
-                    let addr = self.place(e)?;
-                    self.load_from(e, addr)
-                }
-            },
+            }
             ExprKind::Unary(op, inner) => self.eval_unary(e, *op, inner),
             ExprKind::Binary(op, a, b) => {
                 let ta = self.nty(a);
@@ -1185,9 +1179,7 @@ impl<'p> Interp<'p> {
                     out.push_str(&self.read_cstring(p)?);
                 }
                 Some('f') => out.push_str(&format!("{:.6}", take(&mut next).to_float())),
-                Some('g') | Some('e') => {
-                    out.push_str(&format!("{}", take(&mut next).to_float()))
-                }
+                Some('g') | Some('e') => out.push_str(&format!("{}", take(&mut next).to_float())),
                 Some('%') => out.push('%'),
                 Some(other) => {
                     out.push('%');
@@ -1293,8 +1285,16 @@ impl<'p> Interp<'p> {
             }
             Builtin::Strncmp => {
                 let n = arg(2).to_int().max(0) as usize;
-                let a: String = self.read_cstring(arg(0).to_ptr())?.chars().take(n).collect();
-                let b2: String = self.read_cstring(arg(1).to_ptr())?.chars().take(n).collect();
+                let a: String = self
+                    .read_cstring(arg(0).to_ptr())?
+                    .chars()
+                    .take(n)
+                    .collect();
+                let b2: String = self
+                    .read_cstring(arg(1).to_ptr())?
+                    .chars()
+                    .take(n)
+                    .collect();
                 Value::Int(match a.cmp(&b2) {
                     std::cmp::Ordering::Less => -1,
                     std::cmp::Ordering::Equal => 0,

@@ -105,7 +105,10 @@ pub struct AggregateProfile {
 ///
 /// Panics if `profiles` is empty or the profiles have different shapes.
 pub fn aggregate(profiles: &[&Profile]) -> AggregateProfile {
-    assert!(!profiles.is_empty(), "aggregate requires at least one profile");
+    assert!(
+        !profiles.is_empty(),
+        "aggregate requires at least one profile"
+    );
     let totals: Vec<f64> = profiles
         .iter()
         .map(|p| p.total_block_count() as f64)

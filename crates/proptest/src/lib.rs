@@ -1,0 +1,493 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace
+//! vendors the slice of proptest's API its property tests use:
+//! [`Strategy`] with `prop_map`/`prop_recursive`/`boxed`, strategies
+//! for integer and float ranges, tuples, and `Vec`s, the
+//! [`prop_oneof!`] union macro, `any::<T>()`, and the [`proptest!`]
+//! test-runner macro with `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case prints its generated inputs and
+//!   panics; it does not search for a minimal counterexample.
+//! - **Deterministic seeding.** Case `i` of test `t` draws from an RNG
+//!   seeded by `hash(t) ^ i`, so failures reproduce exactly across
+//!   runs without a persistence file.
+
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// The RNG handed to strategies during generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.0.gen_range(0..bound)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.0.gen_range(0u64..(1u64 << 53)) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Access to the underlying seeded RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy: 'static {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T + 'static>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, and `f` wraps
+    /// an inner strategy into one more level of structure. `depth`
+    /// bounds the recursion; `_desired_size` and `_expected_branch`
+    /// are accepted for API compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let base = self.boxed();
+        let mut cur = base.clone();
+        for _ in 0..depth {
+            let deeper = f(cur).boxed();
+            // Each level can either stop at a leaf or recurse, so
+            // generated structures vary in depth up to the bound.
+            cur = Union::new(vec![base.clone(), deeper]).boxed();
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`], used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Debug,
+    F: Fn(S::Value) -> T + 'static,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies of a common value type; the
+/// engine behind [`prop_oneof!`].
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Creates a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T: Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.0.len());
+        self.0[i].generate_dyn(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Debug + Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Full-range generation for primitive types, via [`any`].
+pub trait Arbitrary: Debug + Sized + 'static {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Generates any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below(self.len.end - self.len.start);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and engine (`proptest::test_runner`).
+pub mod test_runner {
+    use super::TestRng;
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Runs `case` once per configured case with a deterministic RNG.
+    /// `case` records the Debug renderings of its generated inputs in
+    /// the provided buffer as it draws them, so a failing case can
+    /// report exactly what it was fed. Used by the
+    /// [`proptest!`](crate::proptest) macro.
+    pub fn run(
+        config: &ProptestConfig,
+        test_name: &str,
+        case: impl Fn(&mut TestRng, &mut Vec<String>),
+    ) {
+        for i in 0..config.cases as u64 {
+            let mut rng = TestRng::for_case(test_name, i);
+            let mut inputs: Vec<String> = Vec::new();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                case(&mut rng, &mut inputs)
+            }));
+            if let Err(payload) = result {
+                eprintln!("proptest: {test_name} failed at case {i} with inputs:");
+                for line in &inputs {
+                    eprintln!("    {line}");
+                }
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Arbitrary, BoxedStrategy, Just, Strategy};
+}
+
+/// Uniform choice between listed strategies (unweighted arms only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::test_runner::run(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng: &mut $crate::TestRng, __inputs: &mut Vec<String>| {
+                        $(
+                            let __value = $crate::Strategy::generate(&($strat), __rng);
+                            __inputs.push(format!(
+                                concat!(stringify!($pat), " = {:?}"), &__value));
+                            let $pat = __value;
+                        )+
+                        $body
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_generate_in_bounds() {
+        let mut rng = crate::TestRng::for_case("t", 0);
+        let s = crate::collection::vec(0.0f64..10.0, 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..10.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(i64),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(v) => {
+                    assert!((-5..5).contains(v), "leaf {v} escaped the base range");
+                    0
+                }
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (-5i64..5)
+            .prop_map(T::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(a.into(), b.into()))
+            });
+        let mut rng = crate::TestRng::for_case("rec", 1);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = s.generate(&mut rng);
+            assert!(depth(&t) <= 4);
+            saw_node |= matches!(t, T::Node(..));
+        }
+        assert!(saw_node, "recursion never happened");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_inputs(
+            a in 0u8..10,
+            b in any::<i8>(),
+            v in crate::collection::vec(0usize..3, 1..4),
+        ) {
+            prop_assert!(a < 10);
+            let _ = b;
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_eq!(v.iter().filter(|&&x| x > 2).count(), 0);
+        }
+    }
+}

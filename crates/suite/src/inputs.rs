@@ -27,10 +27,20 @@ pub fn inputs_for(name: &str) -> Vec<Vec<u8>> {
         "awk" => awk_inputs(),
         "bison" => bison_inputs(),
         "cholesky" => params(&[[48, 6, 11], [64, 4, 22], [40, 10, 33], [56, 8, 44]]),
-        "mpeg" => params(&[[8, 6, 6, 901], [10, 8, 4, 902], [6, 6, 10, 903], [12, 4, 5, 904]]),
+        "mpeg" => params(&[
+            [8, 6, 6, 901],
+            [10, 8, 4, 902],
+            [6, 6, 10, 903],
+            [12, 4, 5, 904],
+        ]),
         "water" => params(&[[8, 300, 71], [12, 200, 72], [16, 120, 73], [10, 250, 74]]),
         "alvinn" => params(&[[16, 40, 81], [24, 30, 82], [32, 20, 83], [12, 60, 84]]),
-        "ear" => params(&[[12, 8000, 91], [16, 6000, 92], [8, 12000, 93], [20, 5000, 94]]),
+        "ear" => params(&[
+            [12, 8000, 91],
+            [16, 6000, 92],
+            [8, 12000, 93],
+            [20, 5000, 94],
+        ]),
         other => panic!("unknown suite program `{other}`"),
     }
 }
@@ -61,8 +71,20 @@ fn words_text(seed: u64, n: usize, vocab: &[&str]) -> Vec<u8> {
 
 fn compress_inputs() -> Vec<Vec<u8>> {
     let vocab = [
-        "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dogs",
-        "compress", "dictionary", "entropy", "buffer", "stream", "token",
+        "the",
+        "quick",
+        "brown",
+        "fox",
+        "jumps",
+        "over",
+        "lazy",
+        "dogs",
+        "compress",
+        "dictionary",
+        "entropy",
+        "buffer",
+        "stream",
+        "token",
     ];
     let mut rng = StdRng::seed_from_u64(42);
     // 1: English-ish words (compressible).
@@ -310,9 +332,22 @@ fn sc_inputs() -> Vec<Vec<u8>> {
 
 fn awk_inputs() -> Vec<Vec<u8>> {
     let vocab = [
-        "error", "warning", "info", "debug", "connect", "disconnect",
-        "timeout", "retry", "packet", "filter", "matching", "singing",
-        "running", "jumped", "quick", "brown",
+        "error",
+        "warning",
+        "info",
+        "debug",
+        "connect",
+        "disconnect",
+        "timeout",
+        "retry",
+        "packet",
+        "filter",
+        "matching",
+        "singing",
+        "running",
+        "jumped",
+        "quick",
+        "brown",
     ];
     fn corpus(seed: u64, pattern: &str, lines: usize, vocab: &[&str]) -> Vec<u8> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -113,16 +113,36 @@ programs![
     ("alvinn", "alvinn.c", "Back-propagation on a neural net"),
     ("compress", "compress.c", "Unix compression utility (LZW)"),
     ("ear", "ear.c", "Simulate sound processing in the ear"),
-    ("eqntott", "eqntott.c", "Translate boolean functions to truth table"),
+    (
+        "eqntott",
+        "eqntott.c",
+        "Translate boolean functions to truth table"
+    ),
     ("espresso", "espresso.c", "Minimize boolean functions"),
-    ("cc", "cc.c", "Miniature optimizing C-like compiler (gcc stand-in)"),
+    (
+        "cc",
+        "cc.c",
+        "Miniature optimizing C-like compiler (gcc stand-in)"
+    ),
     ("sc", "sc.c", "Unix spreadsheet"),
     ("xlisp", "xlisp.c", "Lisp interpreter"),
     ("awk", "awk.c", "Unix pattern-matching utility"),
-    ("bison", "bison.c", "Parser generator core (grammar set analysis)"),
-    ("cholesky", "cholesky.c", "Cholesky-factorize a banded SPD matrix"),
+    (
+        "bison",
+        "bison.c",
+        "Parser generator core (grammar set analysis)"
+    ),
+    (
+        "cholesky",
+        "cholesky.c",
+        "Cholesky-factorize a banded SPD matrix"
+    ),
     ("gs", "gs.c", "PostScript-style previewer (stack machine)"),
-    ("mpeg", "mpeg.c", "Play MPEG video (IDCT + motion compensation)"),
+    (
+        "mpeg",
+        "mpeg.c",
+        "Play MPEG video (IDCT + motion compensation)"
+    ),
     ("water", "water.c", "Simulate a system of water molecules"),
 ];
 
@@ -140,11 +160,7 @@ mod tests {
         let programs = all();
         assert_eq!(programs.len(), 14);
         for p in &programs {
-            assert!(
-                p.inputs().len() >= 4,
-                "{} needs at least 4 inputs",
-                p.name
-            );
+            assert!(p.inputs().len() >= 4, "{} needs at least 4 inputs", p.name);
             assert!(p.lines() > 50, "{} is suspiciously short", p.name);
         }
     }

@@ -10,8 +10,7 @@ use std::collections::HashMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "awk".to_string());
-    let bench = suite::by_name(&name)
-        .ok_or_else(|| format!("unknown suite program `{name}`"))?;
+    let bench = suite::by_name(&name).ok_or_else(|| format!("unknown suite program `{name}`"))?;
     let program = bench.compile().map_err(|e| e.render(bench.source))?;
     let predictions = predict_module(&program.module);
     let profiles = bench.profiles(&program)?;
@@ -39,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("{name}: heuristic hit rates over {} inputs", profiles.len());
-    println!("{:<12} {:>14} {:>14} {:>8}", "heuristic", "correct", "total", "rate");
+    println!(
+        "{:<12} {:>14} {:>14} {:>8}",
+        "heuristic", "correct", "total", "rate"
+    );
     let mut rows: Vec<_> = stats.into_iter().collect();
     rows.sort_by_key(|&(_, (_, total))| std::cmp::Reverse(total));
     let (mut all_hits, mut all_total) = (0, 0);

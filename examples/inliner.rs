@@ -14,8 +14,7 @@ use estimators::{callsite, inter, intra};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "cc".to_string());
-    let bench = suite::by_name(&name)
-        .ok_or_else(|| format!("unknown suite program `{name}`"))?;
+    let bench = suite::by_name(&name).ok_or_else(|| format!("unknown suite program `{name}`"))?;
     let program = bench.compile().map_err(|e| e.render(bench.source))?;
 
     // Static analysis only: intra smart + inter Markov.
@@ -46,11 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // How much actual call traffic do the candidates capture?
     let profiles = bench.profiles(&program)?;
     for (i, p) in profiles.iter().enumerate() {
-        let covered: u64 = sites
-            .iter()
-            .take(candidates)
-            .map(|s| p.site(s.site))
-            .sum();
+        let covered: u64 = sites.iter().take(candidates).map(|s| p.site(s.site)).sum();
         let total: u64 = sites.iter().map(|s| p.site(s.site)).sum();
         println!(
             "input {}: candidates cover {}/{} dynamic calls ({:.0}%)",

@@ -14,8 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "compress".to_string());
-    let bench = suite::by_name(&name)
-        .ok_or_else(|| format!("unknown suite program `{name}`"))?;
+    let bench = suite::by_name(&name).ok_or_else(|| format!("unknown suite program `{name}`"))?;
     let program = bench.compile().map_err(|e| e.render(bench.source))?;
 
     // Rank functions by the static Markov invocation estimate.

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_edges-65fc6586460d0cdc.d: crates/flowgraph/tests/analysis_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_edges-65fc6586460d0cdc.rmeta: crates/flowgraph/tests/analysis_edges.rs Cargo.toml
+
+crates/flowgraph/tests/analysis_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

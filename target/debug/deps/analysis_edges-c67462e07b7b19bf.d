@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_edges-c67462e07b7b19bf.d: crates/flowgraph/tests/analysis_edges.rs
+
+/root/repo/target/debug/deps/analysis_edges-c67462e07b7b19bf: crates/flowgraph/tests/analysis_edges.rs
+
+crates/flowgraph/tests/analysis_edges.rs:

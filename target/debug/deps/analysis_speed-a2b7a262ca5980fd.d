@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_speed-a2b7a262ca5980fd.d: crates/bench/benches/analysis_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_speed-a2b7a262ca5980fd.rmeta: crates/bench/benches/analysis_speed.rs Cargo.toml
+
+crates/bench/benches/analysis_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

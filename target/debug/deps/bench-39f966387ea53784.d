@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-39f966387ea53784.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-39f966387ea53784.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-39f966387ea53784.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

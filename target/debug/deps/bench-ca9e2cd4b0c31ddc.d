@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-ca9e2cd4b0c31ddc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-ca9e2cd4b0c31ddc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-20f155cb30370631.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-20f155cb30370631: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_sfe=/root/repo/target/debug/sfe

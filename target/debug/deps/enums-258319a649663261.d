@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enums-258319a649663261.d: crates/minic/tests/enums.rs
+
+/root/repo/target/debug/deps/enums-258319a649663261: crates/minic/tests/enums.rs
+
+crates/minic/tests/enums.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enums-4fe4d40fb8bb60a8.d: crates/minic/tests/enums.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenums-4fe4d40fb8bb60a8.rmeta: crates/minic/tests/enums.rs Cargo.toml
+
+crates/minic/tests/enums.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/estimator_accuracy-625b309bf1ee2642.d: crates/bench/benches/estimator_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libestimator_accuracy-625b309bf1ee2642.rmeta: crates/bench/benches/estimator_accuracy.rs Cargo.toml
+
+crates/bench/benches/estimator_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/estimators-ce6baf33cb650191.d: crates/core/src/lib.rs crates/core/src/branch.rs crates/core/src/callsite.rs crates/core/src/eval.rs crates/core/src/global.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/metric.rs crates/core/src/missrate.rs crates/core/src/tripcount.rs
+
+/root/repo/target/debug/deps/estimators-ce6baf33cb650191: crates/core/src/lib.rs crates/core/src/branch.rs crates/core/src/callsite.rs crates/core/src/eval.rs crates/core/src/global.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/metric.rs crates/core/src/missrate.rs crates/core/src/tripcount.rs
+
+crates/core/src/lib.rs:
+crates/core/src/branch.rs:
+crates/core/src/callsite.rs:
+crates/core/src/eval.rs:
+crates/core/src/global.rs:
+crates/core/src/inter.rs:
+crates/core/src/intra.rs:
+crates/core/src/metric.rs:
+crates/core/src/missrate.rs:
+crates/core/src/tripcount.rs:

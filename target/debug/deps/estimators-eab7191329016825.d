@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/estimators-eab7191329016825.d: crates/core/src/lib.rs crates/core/src/branch.rs crates/core/src/callsite.rs crates/core/src/eval.rs crates/core/src/global.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/metric.rs crates/core/src/missrate.rs crates/core/src/tripcount.rs Cargo.toml
+
+/root/repo/target/debug/deps/libestimators-eab7191329016825.rmeta: crates/core/src/lib.rs crates/core/src/branch.rs crates/core/src/callsite.rs crates/core/src/eval.rs crates/core/src/global.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/metric.rs crates/core/src/missrate.rs crates/core/src/tripcount.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/branch.rs:
+crates/core/src/callsite.rs:
+crates/core/src/eval.rs:
+crates/core/src/global.rs:
+crates/core/src/inter.rs:
+crates/core/src/intra.rs:
+crates/core/src/metric.rs:
+crates/core/src/missrate.rs:
+crates/core/src/tripcount.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

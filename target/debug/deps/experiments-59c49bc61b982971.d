@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-59c49bc61b982971.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-59c49bc61b982971: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

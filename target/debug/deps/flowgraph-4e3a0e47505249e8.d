@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flowgraph-4e3a0e47505249e8.d: crates/flowgraph/src/lib.rs crates/flowgraph/src/analysis.rs crates/flowgraph/src/callgraph.rs crates/flowgraph/src/cfg.rs crates/flowgraph/src/dot.rs crates/flowgraph/src/lower.rs crates/flowgraph/src/simplify.rs
+
+/root/repo/target/debug/deps/libflowgraph-4e3a0e47505249e8.rlib: crates/flowgraph/src/lib.rs crates/flowgraph/src/analysis.rs crates/flowgraph/src/callgraph.rs crates/flowgraph/src/cfg.rs crates/flowgraph/src/dot.rs crates/flowgraph/src/lower.rs crates/flowgraph/src/simplify.rs
+
+/root/repo/target/debug/deps/libflowgraph-4e3a0e47505249e8.rmeta: crates/flowgraph/src/lib.rs crates/flowgraph/src/analysis.rs crates/flowgraph/src/callgraph.rs crates/flowgraph/src/cfg.rs crates/flowgraph/src/dot.rs crates/flowgraph/src/lower.rs crates/flowgraph/src/simplify.rs
+
+crates/flowgraph/src/lib.rs:
+crates/flowgraph/src/analysis.rs:
+crates/flowgraph/src/callgraph.rs:
+crates/flowgraph/src/cfg.rs:
+crates/flowgraph/src/dot.rs:
+crates/flowgraph/src/lower.rs:
+crates/flowgraph/src/simplify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flowgraph-7d384477756224b9.d: crates/flowgraph/src/lib.rs crates/flowgraph/src/analysis.rs crates/flowgraph/src/callgraph.rs crates/flowgraph/src/cfg.rs crates/flowgraph/src/dot.rs crates/flowgraph/src/lower.rs crates/flowgraph/src/simplify.rs
+
+/root/repo/target/debug/deps/flowgraph-7d384477756224b9: crates/flowgraph/src/lib.rs crates/flowgraph/src/analysis.rs crates/flowgraph/src/callgraph.rs crates/flowgraph/src/cfg.rs crates/flowgraph/src/dot.rs crates/flowgraph/src/lower.rs crates/flowgraph/src/simplify.rs
+
+crates/flowgraph/src/lib.rs:
+crates/flowgraph/src/analysis.rs:
+crates/flowgraph/src/callgraph.rs:
+crates/flowgraph/src/cfg.rs:
+crates/flowgraph/src/dot.rs:
+crates/flowgraph/src/lower.rs:
+crates/flowgraph/src/simplify.rs:

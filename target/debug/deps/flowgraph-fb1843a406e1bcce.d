@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flowgraph-fb1843a406e1bcce.d: crates/flowgraph/src/lib.rs crates/flowgraph/src/analysis.rs crates/flowgraph/src/callgraph.rs crates/flowgraph/src/cfg.rs crates/flowgraph/src/dot.rs crates/flowgraph/src/lower.rs crates/flowgraph/src/simplify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflowgraph-fb1843a406e1bcce.rmeta: crates/flowgraph/src/lib.rs crates/flowgraph/src/analysis.rs crates/flowgraph/src/callgraph.rs crates/flowgraph/src/cfg.rs crates/flowgraph/src/dot.rs crates/flowgraph/src/lower.rs crates/flowgraph/src/simplify.rs Cargo.toml
+
+crates/flowgraph/src/lib.rs:
+crates/flowgraph/src/analysis.rs:
+crates/flowgraph/src/callgraph.rs:
+crates/flowgraph/src/cfg.rs:
+crates/flowgraph/src/dot.rs:
+crates/flowgraph/src/lower.rs:
+crates/flowgraph/src/simplify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontend_edges-9eebb328cedc9230.d: crates/minic/tests/frontend_edges.rs
+
+/root/repo/target/debug/deps/frontend_edges-9eebb328cedc9230: crates/minic/tests/frontend_edges.rs
+
+crates/minic/tests/frontend_edges.rs:

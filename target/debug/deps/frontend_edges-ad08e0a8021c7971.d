@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontend_edges-ad08e0a8021c7971.d: crates/minic/tests/frontend_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontend_edges-ad08e0a8021c7971.rmeta: crates/minic/tests/frontend_edges.rs Cargo.toml
+
+crates/minic/tests/frontend_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

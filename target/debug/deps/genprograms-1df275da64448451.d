@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/genprograms-1df275da64448451.d: tests/genprograms.rs
+
+/root/repo/target/debug/deps/genprograms-1df275da64448451: tests/genprograms.rs
+
+tests/genprograms.rs:

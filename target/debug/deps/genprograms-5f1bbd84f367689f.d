@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/genprograms-5f1bbd84f367689f.d: tests/genprograms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenprograms-5f1bbd84f367689f.rmeta: tests/genprograms.rs Cargo.toml
+
+tests/genprograms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_outputs-34ecbb9edf969782.d: tests/golden_outputs.rs
+
+/root/repo/target/debug/deps/golden_outputs-34ecbb9edf969782: tests/golden_outputs.rs
+
+tests/golden_outputs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_outputs-f13decd6c00f0b09.d: tests/golden_outputs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_outputs-f13decd6c00f0b09.rmeta: tests/golden_outputs.rs Cargo.toml
+
+tests/golden_outputs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inter_edges-2ea4b92501e32a39.d: crates/core/tests/inter_edges.rs
+
+/root/repo/target/debug/deps/inter_edges-2ea4b92501e32a39: crates/core/tests/inter_edges.rs
+
+crates/core/tests/inter_edges.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/inter_edges-c41b436d021ceb13.d: crates/core/tests/inter_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinter_edges-c41b436d021ceb13.rmeta: crates/core/tests/inter_edges.rs Cargo.toml
+
+crates/core/tests/inter_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

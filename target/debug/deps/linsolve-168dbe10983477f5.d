@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/linsolve-168dbe10983477f5.d: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs
+
+/root/repo/target/debug/deps/linsolve-168dbe10983477f5: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs
+
+crates/linsolve/src/lib.rs:
+crates/linsolve/src/matrix.rs:
+crates/linsolve/src/solve.rs:
+crates/linsolve/src/sparse.rs:

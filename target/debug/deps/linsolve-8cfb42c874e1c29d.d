@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/linsolve-8cfb42c874e1c29d.d: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs
+
+/root/repo/target/debug/deps/liblinsolve-8cfb42c874e1c29d.rlib: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs
+
+/root/repo/target/debug/deps/liblinsolve-8cfb42c874e1c29d.rmeta: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs
+
+crates/linsolve/src/lib.rs:
+crates/linsolve/src/matrix.rs:
+crates/linsolve/src/solve.rs:
+crates/linsolve/src/sparse.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/linsolve-bd6b5b0675a33cba.d: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinsolve-bd6b5b0675a33cba.rmeta: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs Cargo.toml
+
+crates/linsolve/src/lib.rs:
+crates/linsolve/src/matrix.rs:
+crates/linsolve/src/solve.rs:
+crates/linsolve/src/sparse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

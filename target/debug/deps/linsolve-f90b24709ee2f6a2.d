@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/linsolve-f90b24709ee2f6a2.d: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinsolve-f90b24709ee2f6a2.rmeta: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs Cargo.toml
+
+crates/linsolve/src/lib.rs:
+crates/linsolve/src/matrix.rs:
+crates/linsolve/src/solve.rs:
+crates/linsolve/src/sparse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/minic-6e0e10d0a91f5a24.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/builtins.rs crates/minic/src/error.rs crates/minic/src/fold.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/sema.rs crates/minic/src/token.rs crates/minic/src/types.rs
+
+/root/repo/target/debug/deps/minic-6e0e10d0a91f5a24: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/builtins.rs crates/minic/src/error.rs crates/minic/src/fold.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/sema.rs crates/minic/src/token.rs crates/minic/src/types.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/builtins.rs:
+crates/minic/src/error.rs:
+crates/minic/src/fold.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/pretty.rs:
+crates/minic/src/sema.rs:
+crates/minic/src/token.rs:
+crates/minic/src/types.rs:

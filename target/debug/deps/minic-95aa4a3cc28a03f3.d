@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/minic-95aa4a3cc28a03f3.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/builtins.rs crates/minic/src/error.rs crates/minic/src/fold.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/sema.rs crates/minic/src/token.rs crates/minic/src/types.rs
+
+/root/repo/target/debug/deps/libminic-95aa4a3cc28a03f3.rlib: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/builtins.rs crates/minic/src/error.rs crates/minic/src/fold.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/sema.rs crates/minic/src/token.rs crates/minic/src/types.rs
+
+/root/repo/target/debug/deps/libminic-95aa4a3cc28a03f3.rmeta: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/builtins.rs crates/minic/src/error.rs crates/minic/src/fold.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/sema.rs crates/minic/src/token.rs crates/minic/src/types.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/builtins.rs:
+crates/minic/src/error.rs:
+crates/minic/src/fold.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/pretty.rs:
+crates/minic/src/sema.rs:
+crates/minic/src/token.rs:
+crates/minic/src/types.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/minic-e2ff075d76ec5dfc.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/builtins.rs crates/minic/src/error.rs crates/minic/src/fold.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/sema.rs crates/minic/src/token.rs crates/minic/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libminic-e2ff075d76ec5dfc.rmeta: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/builtins.rs crates/minic/src/error.rs crates/minic/src/fold.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/sema.rs crates/minic/src/token.rs crates/minic/src/types.rs Cargo.toml
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/builtins.rs:
+crates/minic/src/error.rs:
+crates/minic/src/fold.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/pretty.rs:
+crates/minic/src/sema.rs:
+crates/minic/src/token.rs:
+crates/minic/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

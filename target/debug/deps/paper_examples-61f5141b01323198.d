@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-61f5141b01323198.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-61f5141b01323198: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-56cf3905ca882641.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-56cf3905ca882641: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/profiler-3fd2418decb0e472.d: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofiler-3fd2418decb0e472.rmeta: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/cost.rs:
+crates/profiler/src/interp.rs:
+crates/profiler/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/profiler-4f0d93012ecf2a6a.d: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs
+
+/root/repo/target/debug/deps/libprofiler-4f0d93012ecf2a6a.rlib: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs
+
+/root/repo/target/debug/deps/libprofiler-4f0d93012ecf2a6a.rmeta: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/cost.rs:
+crates/profiler/src/interp.rs:
+crates/profiler/src/profile.rs:

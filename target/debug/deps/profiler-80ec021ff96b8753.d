@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/profiler-80ec021ff96b8753.d: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs
+
+/root/repo/target/debug/deps/profiler-80ec021ff96b8753: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/cost.rs:
+crates/profiler/src/interp.rs:
+crates/profiler/src/profile.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/profiler-f6c79555949b1ebc.d: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprofiler-f6c79555949b1ebc.rmeta: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs Cargo.toml
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/cost.rs:
+crates/profiler/src/interp.rs:
+crates/profiler/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a30be2f56b9d809f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a30be2f56b9d809f: tests/properties.rs
+
+tests/properties.rs:

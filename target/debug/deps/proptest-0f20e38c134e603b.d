@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0f20e38c134e603b.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-0f20e38c134e603b: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

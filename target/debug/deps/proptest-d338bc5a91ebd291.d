@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-d338bc5a91ebd291.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d338bc5a91ebd291.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d338bc5a91ebd291.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-945c110b73661fca.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-945c110b73661fca.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-945c110b73661fca.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-9a3e66d80a56050e.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-9a3e66d80a56050e: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

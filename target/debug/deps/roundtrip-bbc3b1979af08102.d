@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-bbc3b1979af08102.d: tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-bbc3b1979af08102: tests/roundtrip.rs
+
+tests/roundtrip.rs:

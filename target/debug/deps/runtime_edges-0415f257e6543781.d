@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_edges-0415f257e6543781.d: crates/profiler/tests/runtime_edges.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_edges-0415f257e6543781.rmeta: crates/profiler/tests/runtime_edges.rs Cargo.toml
+
+crates/profiler/tests/runtime_edges.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_edges-f936acd049ca05ab.d: crates/profiler/tests/runtime_edges.rs
+
+/root/repo/target/debug/deps/runtime_edges-f936acd049ca05ab: crates/profiler/tests/runtime_edges.rs
+
+crates/profiler/tests/runtime_edges.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sfe-119a8851a3952d34.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsfe-119a8851a3952d34.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfe-b4b3de81d586c7dc.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/sfe-b4b3de81d586c7dc: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

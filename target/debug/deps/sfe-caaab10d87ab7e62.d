@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sfe-caaab10d87ab7e62.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/sfe-caaab10d87ab7e62: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

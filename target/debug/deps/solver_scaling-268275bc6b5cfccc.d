@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_scaling-268275bc6b5cfccc.d: crates/bench/benches/solver_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_scaling-268275bc6b5cfccc.rmeta: crates/bench/benches/solver_scaling.rs Cargo.toml
+
+crates/bench/benches/solver_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

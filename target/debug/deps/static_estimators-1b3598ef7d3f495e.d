@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_estimators-1b3598ef7d3f495e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_estimators-1b3598ef7d3f495e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/static_estimators-408a08e7a32304b8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libstatic_estimators-408a08e7a32304b8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libstatic_estimators-408a08e7a32304b8.rmeta: src/lib.rs
+
+src/lib.rs:

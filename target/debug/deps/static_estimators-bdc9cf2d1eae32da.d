@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_estimators-bdc9cf2d1eae32da.d: src/lib.rs
+
+/root/repo/target/debug/deps/static_estimators-bdc9cf2d1eae32da: src/lib.rs
+
+src/lib.rs:

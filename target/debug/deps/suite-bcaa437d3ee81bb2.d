@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/suite-bcaa437d3ee81bb2.d: crates/suite/src/lib.rs crates/suite/src/inputs.rs crates/suite/src/../programs/alvinn.c crates/suite/src/../programs/compress.c crates/suite/src/../programs/ear.c crates/suite/src/../programs/eqntott.c crates/suite/src/../programs/espresso.c crates/suite/src/../programs/cc.c crates/suite/src/../programs/sc.c crates/suite/src/../programs/xlisp.c crates/suite/src/../programs/awk.c crates/suite/src/../programs/bison.c crates/suite/src/../programs/cholesky.c crates/suite/src/../programs/gs.c crates/suite/src/../programs/mpeg.c crates/suite/src/../programs/water.c
+
+/root/repo/target/debug/deps/libsuite-bcaa437d3ee81bb2.rlib: crates/suite/src/lib.rs crates/suite/src/inputs.rs crates/suite/src/../programs/alvinn.c crates/suite/src/../programs/compress.c crates/suite/src/../programs/ear.c crates/suite/src/../programs/eqntott.c crates/suite/src/../programs/espresso.c crates/suite/src/../programs/cc.c crates/suite/src/../programs/sc.c crates/suite/src/../programs/xlisp.c crates/suite/src/../programs/awk.c crates/suite/src/../programs/bison.c crates/suite/src/../programs/cholesky.c crates/suite/src/../programs/gs.c crates/suite/src/../programs/mpeg.c crates/suite/src/../programs/water.c
+
+/root/repo/target/debug/deps/libsuite-bcaa437d3ee81bb2.rmeta: crates/suite/src/lib.rs crates/suite/src/inputs.rs crates/suite/src/../programs/alvinn.c crates/suite/src/../programs/compress.c crates/suite/src/../programs/ear.c crates/suite/src/../programs/eqntott.c crates/suite/src/../programs/espresso.c crates/suite/src/../programs/cc.c crates/suite/src/../programs/sc.c crates/suite/src/../programs/xlisp.c crates/suite/src/../programs/awk.c crates/suite/src/../programs/bison.c crates/suite/src/../programs/cholesky.c crates/suite/src/../programs/gs.c crates/suite/src/../programs/mpeg.c crates/suite/src/../programs/water.c
+
+crates/suite/src/lib.rs:
+crates/suite/src/inputs.rs:
+crates/suite/src/../programs/alvinn.c:
+crates/suite/src/../programs/compress.c:
+crates/suite/src/../programs/ear.c:
+crates/suite/src/../programs/eqntott.c:
+crates/suite/src/../programs/espresso.c:
+crates/suite/src/../programs/cc.c:
+crates/suite/src/../programs/sc.c:
+crates/suite/src/../programs/xlisp.c:
+crates/suite/src/../programs/awk.c:
+crates/suite/src/../programs/bison.c:
+crates/suite/src/../programs/cholesky.c:
+crates/suite/src/../programs/gs.c:
+crates/suite/src/../programs/mpeg.c:
+crates/suite/src/../programs/water.c:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/suite-d6727122edb58e63.d: crates/suite/src/lib.rs crates/suite/src/inputs.rs crates/suite/src/../programs/alvinn.c crates/suite/src/../programs/compress.c crates/suite/src/../programs/ear.c crates/suite/src/../programs/eqntott.c crates/suite/src/../programs/espresso.c crates/suite/src/../programs/cc.c crates/suite/src/../programs/sc.c crates/suite/src/../programs/xlisp.c crates/suite/src/../programs/awk.c crates/suite/src/../programs/bison.c crates/suite/src/../programs/cholesky.c crates/suite/src/../programs/gs.c crates/suite/src/../programs/mpeg.c crates/suite/src/../programs/water.c Cargo.toml
+
+/root/repo/target/debug/deps/libsuite-d6727122edb58e63.rmeta: crates/suite/src/lib.rs crates/suite/src/inputs.rs crates/suite/src/../programs/alvinn.c crates/suite/src/../programs/compress.c crates/suite/src/../programs/ear.c crates/suite/src/../programs/eqntott.c crates/suite/src/../programs/espresso.c crates/suite/src/../programs/cc.c crates/suite/src/../programs/sc.c crates/suite/src/../programs/xlisp.c crates/suite/src/../programs/awk.c crates/suite/src/../programs/bison.c crates/suite/src/../programs/cholesky.c crates/suite/src/../programs/gs.c crates/suite/src/../programs/mpeg.c crates/suite/src/../programs/water.c Cargo.toml
+
+crates/suite/src/lib.rs:
+crates/suite/src/inputs.rs:
+crates/suite/src/../programs/alvinn.c:
+crates/suite/src/../programs/compress.c:
+crates/suite/src/../programs/ear.c:
+crates/suite/src/../programs/eqntott.c:
+crates/suite/src/../programs/espresso.c:
+crates/suite/src/../programs/cc.c:
+crates/suite/src/../programs/sc.c:
+crates/suite/src/../programs/xlisp.c:
+crates/suite/src/../programs/awk.c:
+crates/suite/src/../programs/bison.c:
+crates/suite/src/../programs/cholesky.c:
+crates/suite/src/../programs/gs.c:
+crates/suite/src/../programs/mpeg.c:
+crates/suite/src/../programs/water.c:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/branch_report-90d806d267d80608.d: examples/branch_report.rs
+
+/root/repo/target/debug/examples/branch_report-90d806d267d80608: examples/branch_report.rs
+
+examples/branch_report.rs:

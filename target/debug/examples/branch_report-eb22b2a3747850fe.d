@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/branch_report-eb22b2a3747850fe.d: examples/branch_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbranch_report-eb22b2a3747850fe.rmeta: examples/branch_report.rs Cargo.toml
+
+examples/branch_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg-79706d8f179e6d41.d: crates/bench/examples/dbg.rs
+
+/root/repo/target/debug/examples/dbg-79706d8f179e6d41: crates/bench/examples/dbg.rs
+
+crates/bench/examples/dbg.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dbg-8df0c030ad3c37d1.d: crates/bench/examples/dbg.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdbg-8df0c030ad3c37d1.rmeta: crates/bench/examples/dbg.rs Cargo.toml
+
+crates/bench/examples/dbg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/golden-d3b11e3ab05bc142.d: crates/bench/examples/golden.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgolden-d3b11e3ab05bc142.rmeta: crates/bench/examples/golden.rs Cargo.toml
+
+crates/bench/examples/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

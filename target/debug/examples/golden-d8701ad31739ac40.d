@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/golden-d8701ad31739ac40.d: crates/bench/examples/golden.rs
+
+/root/repo/target/debug/examples/golden-d8701ad31739ac40: crates/bench/examples/golden.rs
+
+crates/bench/examples/golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hot_paths-17fcc58ef3b3b5ce.d: examples/hot_paths.rs
+
+/root/repo/target/debug/examples/hot_paths-17fcc58ef3b3b5ce: examples/hot_paths.rs
+
+examples/hot_paths.rs:

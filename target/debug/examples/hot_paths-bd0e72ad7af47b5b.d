@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hot_paths-bd0e72ad7af47b5b.d: examples/hot_paths.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhot_paths-bd0e72ad7af47b5b.rmeta: examples/hot_paths.rs Cargo.toml
+
+examples/hot_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inliner-6c989f180b19c85a.d: examples/inliner.rs
+
+/root/repo/target/debug/examples/inliner-6c989f180b19c85a: examples/inliner.rs
+
+examples/inliner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inliner-8248d695327d53f3.d: examples/inliner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinliner-8248d695327d53f3.rmeta: examples/inliner.rs Cargo.toml
+
+examples/inliner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

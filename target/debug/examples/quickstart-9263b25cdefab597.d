@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9263b25cdefab597.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9263b25cdefab597: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/runsuite-4a7c86574e22f721.d: crates/bench/examples/runsuite.rs
+
+/root/repo/target/debug/examples/runsuite-4a7c86574e22f721: crates/bench/examples/runsuite.rs
+
+crates/bench/examples/runsuite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/runsuite-fc3456bd9f243b53.d: crates/bench/examples/runsuite.rs Cargo.toml
+
+/root/repo/target/debug/examples/librunsuite-fc3456bd9f243b53.rmeta: crates/bench/examples/runsuite.rs Cargo.toml
+
+crates/bench/examples/runsuite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selective_optimization-4d5ddf4e2cb5a9ce.d: examples/selective_optimization.rs
+
+/root/repo/target/debug/examples/selective_optimization-4d5ddf4e2cb5a9ce: examples/selective_optimization.rs
+
+examples/selective_optimization.rs:

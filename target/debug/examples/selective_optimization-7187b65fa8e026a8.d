@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/selective_optimization-7187b65fa8e026a8.d: examples/selective_optimization.rs Cargo.toml
+
+/root/repo/target/debug/examples/libselective_optimization-7187b65fa8e026a8.rmeta: examples/selective_optimization.rs Cargo.toml
+
+examples/selective_optimization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

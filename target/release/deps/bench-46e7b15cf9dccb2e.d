@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-46e7b15cf9dccb2e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-46e7b15cf9dccb2e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-46e7b15cf9dccb2e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

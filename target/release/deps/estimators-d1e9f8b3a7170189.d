@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/estimators-d1e9f8b3a7170189.d: crates/core/src/lib.rs crates/core/src/branch.rs crates/core/src/callsite.rs crates/core/src/eval.rs crates/core/src/global.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/metric.rs crates/core/src/missrate.rs crates/core/src/tripcount.rs
+
+/root/repo/target/release/deps/libestimators-d1e9f8b3a7170189.rlib: crates/core/src/lib.rs crates/core/src/branch.rs crates/core/src/callsite.rs crates/core/src/eval.rs crates/core/src/global.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/metric.rs crates/core/src/missrate.rs crates/core/src/tripcount.rs
+
+/root/repo/target/release/deps/libestimators-d1e9f8b3a7170189.rmeta: crates/core/src/lib.rs crates/core/src/branch.rs crates/core/src/callsite.rs crates/core/src/eval.rs crates/core/src/global.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/metric.rs crates/core/src/missrate.rs crates/core/src/tripcount.rs
+
+crates/core/src/lib.rs:
+crates/core/src/branch.rs:
+crates/core/src/callsite.rs:
+crates/core/src/eval.rs:
+crates/core/src/global.rs:
+crates/core/src/inter.rs:
+crates/core/src/intra.rs:
+crates/core/src/metric.rs:
+crates/core/src/missrate.rs:
+crates/core/src/tripcount.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-c3d3cf0c5c64814f.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-c3d3cf0c5c64814f: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flowgraph-b3775b893b89b964.d: crates/flowgraph/src/lib.rs crates/flowgraph/src/analysis.rs crates/flowgraph/src/callgraph.rs crates/flowgraph/src/cfg.rs crates/flowgraph/src/dot.rs crates/flowgraph/src/lower.rs crates/flowgraph/src/simplify.rs
+
+/root/repo/target/release/deps/libflowgraph-b3775b893b89b964.rlib: crates/flowgraph/src/lib.rs crates/flowgraph/src/analysis.rs crates/flowgraph/src/callgraph.rs crates/flowgraph/src/cfg.rs crates/flowgraph/src/dot.rs crates/flowgraph/src/lower.rs crates/flowgraph/src/simplify.rs
+
+/root/repo/target/release/deps/libflowgraph-b3775b893b89b964.rmeta: crates/flowgraph/src/lib.rs crates/flowgraph/src/analysis.rs crates/flowgraph/src/callgraph.rs crates/flowgraph/src/cfg.rs crates/flowgraph/src/dot.rs crates/flowgraph/src/lower.rs crates/flowgraph/src/simplify.rs
+
+crates/flowgraph/src/lib.rs:
+crates/flowgraph/src/analysis.rs:
+crates/flowgraph/src/callgraph.rs:
+crates/flowgraph/src/cfg.rs:
+crates/flowgraph/src/dot.rs:
+crates/flowgraph/src/lower.rs:
+crates/flowgraph/src/simplify.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/linsolve-3cf4bd55a374e07f.d: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs
+
+/root/repo/target/release/deps/liblinsolve-3cf4bd55a374e07f.rlib: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs
+
+/root/repo/target/release/deps/liblinsolve-3cf4bd55a374e07f.rmeta: crates/linsolve/src/lib.rs crates/linsolve/src/matrix.rs crates/linsolve/src/solve.rs crates/linsolve/src/sparse.rs
+
+crates/linsolve/src/lib.rs:
+crates/linsolve/src/matrix.rs:
+crates/linsolve/src/solve.rs:
+crates/linsolve/src/sparse.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/minic-278054910f038842.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/builtins.rs crates/minic/src/error.rs crates/minic/src/fold.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/sema.rs crates/minic/src/token.rs crates/minic/src/types.rs
+
+/root/repo/target/release/deps/libminic-278054910f038842.rlib: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/builtins.rs crates/minic/src/error.rs crates/minic/src/fold.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/sema.rs crates/minic/src/token.rs crates/minic/src/types.rs
+
+/root/repo/target/release/deps/libminic-278054910f038842.rmeta: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/builtins.rs crates/minic/src/error.rs crates/minic/src/fold.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/sema.rs crates/minic/src/token.rs crates/minic/src/types.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/builtins.rs:
+crates/minic/src/error.rs:
+crates/minic/src/fold.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/pretty.rs:
+crates/minic/src/sema.rs:
+crates/minic/src/token.rs:
+crates/minic/src/types.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/profiler-a24b330dc57794fe.d: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs
+
+/root/repo/target/release/deps/libprofiler-a24b330dc57794fe.rlib: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs
+
+/root/repo/target/release/deps/libprofiler-a24b330dc57794fe.rmeta: crates/profiler/src/lib.rs crates/profiler/src/cost.rs crates/profiler/src/interp.rs crates/profiler/src/profile.rs
+
+crates/profiler/src/lib.rs:
+crates/profiler/src/cost.rs:
+crates/profiler/src/interp.rs:
+crates/profiler/src/profile.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a5d47ce456afbd15.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a5d47ce456afbd15.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a5d47ce456afbd15.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

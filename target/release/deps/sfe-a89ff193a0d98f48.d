@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sfe-a89ff193a0d98f48.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/sfe-a89ff193a0d98f48: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_scaling-c94df2548f983d9c.d: crates/bench/benches/solver_scaling.rs
+
+/root/repo/target/release/deps/solver_scaling-c94df2548f983d9c: crates/bench/benches/solver_scaling.rs
+
+crates/bench/benches/solver_scaling.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/static_estimators-0c6cf1f8cc6dcc41.d: src/lib.rs
+
+/root/repo/target/release/deps/libstatic_estimators-0c6cf1f8cc6dcc41.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libstatic_estimators-0c6cf1f8cc6dcc41.rmeta: src/lib.rs
+
+src/lib.rs:

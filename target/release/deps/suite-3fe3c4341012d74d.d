@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/suite-3fe3c4341012d74d.d: crates/suite/src/lib.rs crates/suite/src/inputs.rs crates/suite/src/../programs/alvinn.c crates/suite/src/../programs/compress.c crates/suite/src/../programs/ear.c crates/suite/src/../programs/eqntott.c crates/suite/src/../programs/espresso.c crates/suite/src/../programs/cc.c crates/suite/src/../programs/sc.c crates/suite/src/../programs/xlisp.c crates/suite/src/../programs/awk.c crates/suite/src/../programs/bison.c crates/suite/src/../programs/cholesky.c crates/suite/src/../programs/gs.c crates/suite/src/../programs/mpeg.c crates/suite/src/../programs/water.c
+
+/root/repo/target/release/deps/libsuite-3fe3c4341012d74d.rlib: crates/suite/src/lib.rs crates/suite/src/inputs.rs crates/suite/src/../programs/alvinn.c crates/suite/src/../programs/compress.c crates/suite/src/../programs/ear.c crates/suite/src/../programs/eqntott.c crates/suite/src/../programs/espresso.c crates/suite/src/../programs/cc.c crates/suite/src/../programs/sc.c crates/suite/src/../programs/xlisp.c crates/suite/src/../programs/awk.c crates/suite/src/../programs/bison.c crates/suite/src/../programs/cholesky.c crates/suite/src/../programs/gs.c crates/suite/src/../programs/mpeg.c crates/suite/src/../programs/water.c
+
+/root/repo/target/release/deps/libsuite-3fe3c4341012d74d.rmeta: crates/suite/src/lib.rs crates/suite/src/inputs.rs crates/suite/src/../programs/alvinn.c crates/suite/src/../programs/compress.c crates/suite/src/../programs/ear.c crates/suite/src/../programs/eqntott.c crates/suite/src/../programs/espresso.c crates/suite/src/../programs/cc.c crates/suite/src/../programs/sc.c crates/suite/src/../programs/xlisp.c crates/suite/src/../programs/awk.c crates/suite/src/../programs/bison.c crates/suite/src/../programs/cholesky.c crates/suite/src/../programs/gs.c crates/suite/src/../programs/mpeg.c crates/suite/src/../programs/water.c
+
+crates/suite/src/lib.rs:
+crates/suite/src/inputs.rs:
+crates/suite/src/../programs/alvinn.c:
+crates/suite/src/../programs/compress.c:
+crates/suite/src/../programs/ear.c:
+crates/suite/src/../programs/eqntott.c:
+crates/suite/src/../programs/espresso.c:
+crates/suite/src/../programs/cc.c:
+crates/suite/src/../programs/sc.c:
+crates/suite/src/../programs/xlisp.c:
+crates/suite/src/../programs/awk.c:
+crates/suite/src/../programs/bison.c:
+crates/suite/src/../programs/cholesky.c:
+crates/suite/src/../programs/gs.c:
+crates/suite/src/../programs/mpeg.c:
+crates/suite/src/../programs/water.c:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/golden-68dcfcb6e960ba42.d: crates/bench/examples/golden.rs
+
+/root/repo/target/release/examples/golden-68dcfcb6e960ba42: crates/bench/examples/golden.rs
+
+crates/bench/examples/golden.rs:

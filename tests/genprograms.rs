@@ -48,9 +48,7 @@ fn emit(stmts: &[S], out: &mut String, indent: usize, loop_id: &mut usize) {
     let pad = "    ".repeat(indent);
     for s in stmts {
         match s {
-            S::Assign(v, e) => {
-                out.push_str(&format!("{pad}{} = {};\n", var_name(*v), e.to_c()))
-            }
+            S::Assign(v, e) => out.push_str(&format!("{pad}{} = {};\n", var_name(*v), e.to_c())),
             S::AddAssign(v, e) => {
                 out.push_str(&format!("{pad}{} += {};\n", var_name(*v), e.to_c()))
             }
@@ -110,8 +108,11 @@ fn arb_expr() -> impl Strategy<Value = E> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(a.into(), b.into())),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| E::Cond(c.into(), t.into(), f.into())),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| E::Cond(
+                c.into(),
+                t.into(),
+                f.into()
+            )),
         ]
     })
 }
@@ -125,8 +126,7 @@ fn arb_stmts() -> impl Strategy<Value = Vec<S>> {
     let stmts = proptest::collection::vec(stmt, 1..5);
     stmts.prop_recursive(3, 16, 4, |inner| {
         prop_oneof![
-            (arb_expr(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| vec![S::If(c, t, f)]),
+            (arb_expr(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| vec![S::If(c, t, f)]),
             (any::<u8>(), inner.clone()).prop_map(|(k, b)| vec![S::Loop(k, b)]),
             (inner.clone(), inner).prop_map(|(mut a, b)| {
                 a.extend(b);

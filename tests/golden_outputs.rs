@@ -12,7 +12,7 @@ use profiler::RunConfig;
 
 const GOLDEN: &[(&str, &str)] = &[
     ("alvinn", "patterns=16 epochs=40 final_err=3745 correct=16\n"),
-    ("compress", "in=4435 out=1215 ratio=27% codes=1232 sum=9fdca1\n"),
+    ("compress", "in=4486 out=1211 ratio=26% codes=1229 sum=c00358\n"),
     (
         "ear",
         "channels=12 samples=8000 frames=250 peak=0 fired=7646 energy=6313\n",
@@ -23,12 +23,12 @@ const GOLDEN: &[(&str, &str)] = &[
     ),
     (
         "espresso",
-        "vars=7 minterms=50 primes=38 cover=24 literals=139\n-1101--\n-001-10\n-1011-0\n011-00-\n1101-0-\n000011-\n-100011\n100-000\n100-011\n1010-01\n1010-10\n1-11111\n0--1110\n0000001\n0010011\n1111010\n0-10100\n0-11000\n01-0101\n01110-1\n11000-1\n11-0011\n11-1100\n011--01\n",
+        "vars=7 minterms=50 primes=44 cover=25 literals=140\n-111-1-\n10-01-0\n1-1011-\n0000-01\n00-0010\n001000-\n01000-0\n01-0011\n011-101\n10000-1\n1-01011\n11010-0\n--11010\n01-1-10\n0111--0\n101-1-0\n1001101\n-000010\n000010-\n-010000\n1101-00\n11110-1\n01-111-\n-11-011\n1--0110\n",
     ),
     ("cc", "75025\nnodes=38 folded=0 code=28 peephole=0 steps=440\n"),
-    ("sc", "cells=66 passes=4 evals=264 total=15256 nonzero=65 errs=0\n"),
+    ("sc", "cells=66 passes=4 evals=264 total=14125 nonzero=65 errs=0\n"),
     ("xlisp", "233\n479001600\n9\nevaluated 6 forms, 6 gcs, 316 live\n"),
-    ("awk", "lines=120 matched=34 fields=181 chars=4483 sum=af85\n"),
+    ("awk", "lines=120 matched=39 fields=208 chars=4469 sum=be05\n"),
     (
         "bison",
         "prods=8 rounds=9 nullable=2 first=8 follow=14 conflicts=0 probe=37\n",

@@ -92,7 +92,9 @@ fn xlisp_markov_finds_busy_functions_despite_pointers() {
         .collect();
     // The GC/allocator core dominates...
     assert!(
-        top12.contains(&"mark") || top12.contains(&"gc") || top12.contains(&"cons")
+        top12.contains(&"mark")
+            || top12.contains(&"gc")
+            || top12.contains(&"cons")
             || top12.contains(&"alloc_node"),
         "the allocator/GC should be identified as busy: {top12:?}"
     );

@@ -171,6 +171,42 @@ proptest! {
         prop_assert!((sink_total - 1.0).abs() < 1e-9, "sinks got {sink_total}");
     }
 
+    /// The sparse SCC-aware solver agrees with the dense Gaussian
+    /// oracle on random well-conditioned flow systems: arbitrary arcs
+    /// (cycles included) whose weights keep every component's spectral
+    /// radius below 1, so both paths take their direct branch.
+    #[test]
+    fn sparse_solver_matches_dense_oracle(
+        n in 2usize..24,
+        raw_arcs in proptest::collection::vec(
+            (0usize..24, 0usize..24, 0.05f64..0.9), 1..60),
+        entry_weight in 0.5f64..2.0,
+    ) {
+        let mut sys = linsolve::FlowSystem::new(n);
+        sys.inject(0, entry_weight);
+        // Cap total outgoing weight per source at 0.95 so `I − Wᵀ` is
+        // strictly diagonally dominant — well-conditioned by
+        // construction, whatever the topology.
+        let mut out_total = vec![0.0f64; n];
+        for (src, dst, w) in raw_arcs {
+            let (src, dst) = (src % n, dst % n);
+            let w = w.min(0.95 - out_total[src]);
+            if w <= 0.0 {
+                continue;
+            }
+            out_total[src] += w;
+            sys.add_arc(src, dst, w);
+        }
+        let sparse = sys.solve().unwrap();
+        let dense = sys.solve_dense().unwrap();
+        for (i, (a, b)) in sparse.iter().zip(&dense).enumerate() {
+            prop_assert!(
+                (a - b).abs() < 1e-9,
+                "node {}: sparse {} vs dense {}", i, a, b
+            );
+        }
+    }
+
     /// The solver is linear: doubling the injection doubles everything.
     #[test]
     fn flow_linearity(

@@ -12,9 +12,8 @@ fn whole_suite_print_parse_idempotent() {
         let unit1 = parse(bench.source)
             .unwrap_or_else(|e| panic!("{}: {}", bench.name, e.render(bench.source)));
         let printed1 = print_unit(&unit1);
-        let unit2 = parse(&printed1).unwrap_or_else(|e| {
-            panic!("{}: reparse failed: {}", bench.name, e.render(&printed1))
-        });
+        let unit2 = parse(&printed1)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {}", bench.name, e.render(&printed1)));
         let printed2 = print_unit(&unit2);
         assert_eq!(printed1, printed2, "{} not idempotent", bench.name);
     }
@@ -36,11 +35,8 @@ fn printed_programs_behave_identically() {
         let input = bench.inputs().into_iter().next().unwrap();
         let a = profiler::run(&original, &profiler::RunConfig::with_input(input.clone()))
             .expect("original runs");
-        let b = profiler::run(
-            &reprinted_program,
-            &profiler::RunConfig::with_input(input),
-        )
-        .expect("printed runs");
+        let b = profiler::run(&reprinted_program, &profiler::RunConfig::with_input(input))
+            .expect("printed runs");
         assert_eq!(a.stdout(), b.stdout(), "{name}: outputs differ");
         assert_eq!(a.exit_code, b.exit_code, "{name}: exit codes differ");
         assert_eq!(

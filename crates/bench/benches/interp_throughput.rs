@@ -1,0 +1,133 @@
+//! Interpreter throughput: steps/second through the profiler on the
+//! hottest suite programs, plus the end-to-end `load_suite` wall
+//! clock. Run with `cargo bench -p bench --bench interp_throughput`.
+//!
+//! Besides the Criterion output, the harness appends one JSON record
+//! per run to `BENCH_interp.json` at the repository root so the bench
+//! trajectory accumulates across commits (CI runs this in quick mode;
+//! set `INTERP_BENCH_QUICK=1` to reduce repetitions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use profiler::RunConfig;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Programs measured individually (the hot half of the suite).
+const PROGRAMS: &[&str] = &["compress", "xlisp", "cholesky"];
+
+fn quick() -> bool {
+    std::env::var_os("INTERP_BENCH_QUICK").is_some() || std::env::var_os("BENCH_QUICK").is_some()
+}
+
+/// Median wall-clock of `f` over `reps` runs, with one warm-up.
+fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_steps_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_throughput");
+    group.sample_size(if quick() { 3 } else { 10 });
+    for name in PROGRAMS {
+        let bench = suite::by_name(name).expect("suite program");
+        let program = bench.compile().expect("suite program compiles");
+        let input = bench.inputs().remove(0);
+        let config = RunConfig::with_input(input);
+        group.bench_with_input(
+            BenchmarkId::new("run", name),
+            &(&program, &config),
+            |b, (program, config)| b.iter(|| profiler::run(program, config).unwrap()),
+        );
+        // The retired AST walker, kept as the differential oracle —
+        // benched so the VM-vs-walker ratio stays visible over time.
+        group.bench_with_input(
+            BenchmarkId::new("run_ast", name),
+            &(&program, &config),
+            |b, (program, config)| b.iter(|| profiler::run_ast(program, config).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compile", name),
+            &&program,
+            |b, program| b.iter(|| profiler::compile(program)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_load_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp_throughput");
+    group.sample_size(if quick() { 2 } else { 5 });
+    group.bench_function("load_suite", |b| b.iter(|| black_box(bench::load_suite())));
+    group.finish();
+}
+
+/// Appends `{compress_steps_per_sec, compress_steps, load_suite_ms}`
+/// to the root `BENCH_interp.json` trajectory (a JSON array, one entry
+/// per run).
+fn record_trajectory(c: &mut Criterion) {
+    // Piggy-back on the harness entry point; skip under `--test`.
+    let mut group = c.benchmark_group("interp_throughput");
+    group.sample_size(1);
+    let mut recorded = false;
+    group.bench_function("record_json", |b| {
+        b.iter(|| {
+            if !recorded {
+                recorded = true;
+                write_trajectory();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn write_trajectory() {
+    let reps = if quick() { 2 } else { 5 };
+    // steps/sec on compress (the paper's worked example and the
+    // longest-running profile in the suite).
+    let bench_prog = suite::by_name("compress").expect("compress in suite");
+    let program = bench_prog.compile().expect("compress compiles");
+    let config = RunConfig::with_input(bench_prog.inputs().remove(0));
+    let steps = profiler::run(&program, &config)
+        .expect("compress runs")
+        .steps;
+    let run_s = median_secs(reps, || profiler::run(&program, &config).unwrap());
+    let steps_per_sec = steps as f64 / run_s;
+    let ast_s = median_secs(reps, || profiler::run_ast(&program, &config).unwrap());
+    let ast_steps_per_sec = steps as f64 / ast_s;
+
+    let suite_s = median_secs(3, bench::load_suite);
+
+    let entry = format!(
+        "{{\"compress_steps_per_sec\": {steps_per_sec:.0}, \
+          \"compress_ast_steps_per_sec\": {ast_steps_per_sec:.0}, \
+          \"compress_steps\": {steps}, \"load_suite_ms\": {:.1}}}",
+        suite_s * 1e3
+    );
+    println!("interp_throughput/record_json: {entry}");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_interp.json");
+    let prior = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = prior.trim().trim_end_matches(']').trim_end_matches('\n');
+    let body = if trimmed.is_empty() || trimmed == "[" {
+        format!("[\n  {entry}\n]\n")
+    } else {
+        format!("{},\n  {entry}\n]\n", trimmed.trim_end_matches(','))
+    };
+    std::fs::write(path, body).expect("writing BENCH_interp.json");
+}
+
+criterion_group!(
+    benches,
+    bench_steps_per_sec,
+    bench_load_suite,
+    record_trajectory
+);
+criterion_main!(benches);

@@ -61,6 +61,12 @@ fn nested_loops(n: usize) -> FlowSystem {
     sys
 }
 
+/// CI sets `BENCH_QUICK=1`: fewer samples, skip the seconds-long
+/// dense 10⁴ acceptance point.
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
 type ShapeBuilder = fn(usize) -> FlowSystem;
 
 const SHAPES: &[(&str, ShapeBuilder)] = &[
@@ -71,7 +77,7 @@ const SHAPES: &[(&str, ShapeBuilder)] = &[
 
 fn bench_sparse(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_scaling");
-    group.sample_size(20);
+    group.sample_size(if quick() { 5 } else { 20 });
     for &(shape, build) in SHAPES {
         for n in [100usize, 1_000, 10_000] {
             let sys = build(n);
@@ -87,7 +93,7 @@ fn bench_sparse(c: &mut Criterion) {
 
 fn bench_dense_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_scaling");
-    group.sample_size(10);
+    group.sample_size(if quick() { 3 } else { 10 });
     for &(shape, build) in SHAPES {
         for n in [100usize, 1_000] {
             let sys = build(n);
@@ -100,11 +106,13 @@ fn bench_dense_baseline(c: &mut Criterion) {
     }
     // The acceptance point: dense vs sparse on the 10⁴-node acyclic
     // chain. Few samples — one dense solve is ~10⁵× a sparse one.
-    let sys = chain(10_000);
-    group.sample_size(10);
-    group.bench_with_input(BenchmarkId::new("dense_chain", 10_000), &sys, |b, sys| {
-        b.iter(|| black_box(sys.solve_dense().unwrap()))
-    });
+    if !quick() {
+        let sys = chain(10_000);
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("dense_chain", 10_000), &sys, |b, sys| {
+            b.iter(|| black_box(sys.solve_dense().unwrap()))
+        });
+    }
     group.finish();
 }
 

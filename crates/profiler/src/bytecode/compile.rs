@@ -1,0 +1,1537 @@
+//! CFG/AST → bytecode lowering.
+//!
+//! One linear pass per function. The lowering mirrors the AST
+//! interpreter *observably*: identical tick counts on every path,
+//! identical error kinds at identical cumulative-step points, and
+//! identical profile counters on success.
+//!
+//! ## Tick batching
+//!
+//! The interpreter charges one step per `eval()`/`place()` call and
+//! per block iteration, checking the step limit each time. Paying two
+//! memory round-trips per AST node is most of its cost, so the
+//! compiler accumulates ticks in `pending` and attaches the batch as
+//! a `tick` payload on the next op that ends the batching region —
+//! the flush points. A flush is forced before anything whose
+//! behaviour an earlier tick could gate: any fallible op (so a
+//! `StepLimit` that the interpreter would hit first still wins), any
+//! call or return (so `func_cost` lands on the right function), any
+//! jump, and any jump target (so untaken paths never charge). Within
+//! a flush region only profile counters move, and a failing run
+//! discards its profile — so reordering ticks against counter bumps
+//! is unobservable. Executing the payload costs zero extra dispatch;
+//! a standalone `Tick` survives only on cold paths (before `Fail`,
+//! at a ternary's join) where no carrier op follows.
+//!
+//! ## Counter fusion
+//!
+//! Block, edge, branch, and call-site counters live in dense arrays.
+//! Edges need no "previous block" state at runtime: every jump knows
+//! its (src, dst) statically, so each terminator jumps through a tiny
+//! per-successor stub — a single fused `EdgeJump` that ticks, bumps
+//! the edge counter *and* the target's block counter, and jumps. The
+//! only other way into a block is a call, so function entry bumps
+//! `FuncMeta::entry_block` directly and blocks need no counter op of
+//! their own.
+//!
+//! ## Superinstructions
+//!
+//! Emission peepholes fuse the dominant op sequences into single
+//! dispatches: paired local loads (`LoadLocal2`/`LoadLocalImm`),
+//! operand loads folded into `Arith*`, comparisons folded into their
+//! branch (`CmpBranch*` — a loop header like `i < n` becomes one op),
+//! and array reads folded through `IndexAddr*` into `LoadIdx*`.
+//! Two invariants make this safe:
+//!
+//! - **No fusion across a label.** `label_here` records every jump
+//!   target (block starts, stub pcs, short-circuit joins) as a
+//!   barrier; `fuse1`/`fuse2` refuse to touch ops at or before it, so
+//!   a jump can never land inside a fused sequence.
+//! - **Consumed operand registers are dead.** Each `eval` writes its
+//!   destination before anything reads it, on every path, so when a
+//!   fused op consumes its operand directly from a frame slot or
+//!   immediate, skipping the architectural register write is
+//!   unobservable.
+
+use super::{ArithMode, CompiledProgram, FuncMeta, Op, ParamBind, SwitchTable, NONE32};
+use crate::interp::{NodeTables, NodeTy, RuntimeError, TyClass, Value};
+use flowgraph::{BlockId, Cfg, Instr, Program, Terminator};
+use minic::ast::{BinOp, Expr, ExprKind, UnOp};
+use minic::sema::{CalleeKind, FuncId, InitWord, Resolution};
+use minic::types::Type;
+use std::collections::HashMap;
+
+/// Where an lvalue lives, as far as compile time can tell.
+enum Place {
+    /// Frame slot at a static word offset.
+    Local(u32),
+    /// Static-data slot (index into the data image).
+    Data(u32),
+    /// Address computed at runtime into a register (`to_ptr` applies).
+    Reg(u16),
+}
+
+pub(super) fn compile(program: &Program) -> CompiledProgram {
+    let module = &program.module;
+
+    // Lay out the static data image exactly as `Interp::load_statics`
+    // does: globals first, then string literals; addresses are
+    // observable (the heap grows past them), so the order matters.
+    let mut data_image: Vec<Value> = Vec::new();
+    let mut global_addr: Vec<u64> = Vec::new();
+    for g in &module.globals {
+        global_addr.push(data_image.len() as u64 + 1);
+        data_image.extend(std::iter::repeat_n(Value::Int(0), g.size));
+    }
+    let mut str_addr: Vec<u64> = Vec::new();
+    for s in &module.strings {
+        let addr = data_image.len() as u64 + 1;
+        data_image.extend(std::iter::repeat_n(Value::Int(0), s.len() + 1));
+        for (i, b) in s.bytes().enumerate() {
+            data_image[(addr - 1) as usize + i] = Value::Int(b as i64);
+        }
+        str_addr.push(addr);
+    }
+    for g in &module.globals {
+        let base = global_addr[g.id.0 as usize];
+        for (i, w) in g.init.iter().enumerate() {
+            data_image[(base - 1) as usize + i] = match *w {
+                InitWord::Int(x) => Value::Int(x),
+                InitWord::Float(x) => Value::Float(x),
+                InitWord::StrPtr(idx) => Value::Ptr(str_addr[idx]),
+                InitWord::Fn(fid) => Value::Fn(fid),
+                InitWord::GlobalAddr(gid) => Value::Ptr(global_addr[gid.0 as usize]),
+            };
+        }
+    }
+
+    // Flat block-counter layout.
+    let mut block_base = Vec::with_capacity(program.cfgs.len());
+    let mut block_lens = Vec::with_capacity(program.cfgs.len());
+    let mut total_blocks = 0u32;
+    for c in &program.cfgs {
+        block_base.push(total_blocks);
+        let len = c.as_ref().map_or(0, |c| c.len() as u32);
+        block_lens.push(len);
+        total_blocks += len;
+    }
+
+    let mut c = Compiler {
+        program,
+        tables: NodeTables::build(program),
+        global_addr,
+        str_addr,
+        block_base,
+        ops: Vec::new(),
+        switch_tables: Vec::new(),
+        images: Vec::new(),
+        fails: Vec::new(),
+        edge_index: HashMap::new(),
+        edge_keys: Vec::new(),
+        cur_fn: FuncId(0),
+        pending: 0,
+        hi: 1,
+        fixups: Vec::new(),
+        block_pc: Vec::new(),
+        barrier: 0,
+    };
+
+    let mut funcs = Vec::with_capacity(module.functions.len());
+    for f in &module.functions {
+        funcs.push(match program.cfg_opt(f.id) {
+            Some(cfg) => c.compile_func(f.id, cfg),
+            None => FuncMeta {
+                entry: NONE32,
+                entry_block: NONE32,
+                frame_size: f.frame_size as u32,
+                max_regs: 0,
+                params: Vec::new(),
+                name: f.name.clone(),
+            },
+        });
+    }
+
+    CompiledProgram {
+        ops: c.ops,
+        funcs,
+        main: module.function_id("main"),
+        switch_tables: c.switch_tables,
+        images: c.images,
+        fails: c.fails,
+        data_image,
+        block_base: c.block_base,
+        block_lens,
+        edge_keys: c.edge_keys,
+        n_branches: module.side.branches.len(),
+        n_sites: module.side.call_sites.len(),
+    }
+}
+
+struct Compiler<'p> {
+    program: &'p Program,
+    tables: NodeTables,
+    global_addr: Vec<u64>,
+    str_addr: Vec<u64>,
+    block_base: Vec<u32>,
+    ops: Vec<Op>,
+    switch_tables: Vec<SwitchTable>,
+    images: Vec<Vec<Value>>,
+    fails: Vec<RuntimeError>,
+    edge_index: HashMap<(u32, u32, u32), u32>,
+    edge_keys: Vec<(FuncId, BlockId, BlockId)>,
+    // Per-function state.
+    cur_fn: FuncId,
+    /// Ticks accumulated since the last flush point.
+    pending: u32,
+    /// Register watermark (window size so far).
+    hi: u16,
+    /// `(op index, target block)` jumps to patch once block pcs exist.
+    fixups: Vec<(usize, u32)>,
+    block_pc: Vec<u32>,
+    /// Ops at indices `< barrier` precede a jump target and must not
+    /// be rewritten by the fusing emitters.
+    barrier: usize,
+}
+
+impl<'p> Compiler<'p> {
+    // ----- small helpers -----
+
+    fn nty(&self, e: &Expr) -> NodeTy {
+        self.tables
+            .ty
+            .get(e.id.0 as usize)
+            .copied()
+            .unwrap_or(NodeTy::DEFAULT)
+    }
+
+    fn resolution(&self, e: &Expr) -> Resolution {
+        self.tables.resolution[e.id.0 as usize].expect("sema resolved every name")
+    }
+
+    fn touch(&mut self, r: u16) {
+        self.hi = self
+            .hi
+            .max(r.checked_add(1).expect("register window overflow"));
+    }
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Take the pending tick batch to attach to a flush-point op.
+    fn take_pending(&mut self) -> u32 {
+        std::mem::take(&mut self.pending)
+    }
+
+    // ----- fusing emitters (superinstructions) -----
+
+    /// Record a jump target at the current pc. Nothing emitted after
+    /// this point may fuse into ops before it, else the jump would
+    /// land mid-superinstruction.
+    fn label_here(&mut self) -> u32 {
+        self.barrier = self.ops.len();
+        self.ops.len() as u32
+    }
+
+    /// Index of the previous op when it is past the last label.
+    fn fuse1(&self) -> Option<usize> {
+        (self.ops.len() > self.barrier).then(|| self.ops.len() - 1)
+    }
+
+    /// Index of the second-to-last op when the last *two* are past
+    /// the last label.
+    fn fuse2(&self) -> Option<usize> {
+        (self.ops.len() >= self.barrier + 2).then(|| self.ops.len() - 2)
+    }
+
+    fn emit_load_local(&mut self, dst: u16, off: u32) {
+        if let Some(i) = self.fuse1() {
+            if let Op::LoadLocal { dst: d, off: off_a } = self.ops[i] {
+                if d.checked_add(1) == Some(dst) {
+                    self.ops[i] = Op::LoadLocal2 {
+                        dst: d,
+                        off_a,
+                        off_b: off,
+                    };
+                    return;
+                }
+            }
+        }
+        self.emit(Op::LoadLocal { dst, off });
+    }
+
+    fn emit_const_int(&mut self, dst: u16, v: i64) {
+        if let Some(i) = self.fuse1() {
+            if let Op::LoadLocal { dst: d, off } = self.ops[i] {
+                if d.checked_add(1) == Some(dst) {
+                    self.ops[i] = Op::LoadLocalImm {
+                        dst: d,
+                        off,
+                        imm: v,
+                    };
+                    return;
+                }
+            }
+        }
+        self.emit(Op::Const {
+            dst,
+            v: Value::Int(v),
+        });
+    }
+
+    /// Emit the binary-operator arith (`a = dst`, `b = dst + 1`),
+    /// folding operand loads emitted immediately before it. Fused
+    /// forms skip the dead write of the consumed operand register
+    /// (see the module docs for why that is unobservable).
+    fn emit_arith(&mut self, dst: u16, mode: ArithMode, tick: u32) {
+        if let Some(i) = self.fuse1() {
+            match self.ops[i] {
+                Op::LoadLocal2 {
+                    dst: d,
+                    off_a,
+                    off_b,
+                } if d == dst => {
+                    self.ops[i] = Op::ArithLL {
+                        dst,
+                        off_a,
+                        off_b,
+                        mode,
+                        tick,
+                    };
+                    return;
+                }
+                Op::LoadLocalImm { dst: d, off, imm } if d == dst => {
+                    if let Ok(imm) = i32::try_from(imm) {
+                        self.ops[i] = Op::ArithLI {
+                            dst,
+                            off,
+                            imm,
+                            mode,
+                            tick,
+                        };
+                        return;
+                    }
+                }
+                Op::LoadLocal { dst: d, off } if d == dst + 1 => {
+                    self.ops[i] = Op::ArithRL {
+                        dst,
+                        off,
+                        mode,
+                        tick,
+                    };
+                    return;
+                }
+                Op::Const {
+                    dst: d,
+                    v: Value::Int(imm),
+                } if d == dst + 1 => {
+                    if let Ok(imm) = i32::try_from(imm) {
+                        self.ops[i] = Op::ArithRI {
+                            dst,
+                            imm,
+                            mode,
+                            tick,
+                        };
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.emit(Op::Arith {
+            dst,
+            a: dst,
+            b: dst + 1,
+            mode,
+            tick,
+        });
+    }
+
+    /// Emit the `IndexAddr` for `base[idx]` (`base = dst`,
+    /// `idx = dst + 1`), folding the base/index loads before it.
+    fn emit_index_addr(&mut self, dst: u16, elem: u32) {
+        if let Some(i) = self.fuse1() {
+            match self.ops[i] {
+                Op::LoadLocal2 {
+                    dst: d,
+                    off_a,
+                    off_b,
+                } if d == dst => {
+                    self.ops[i] = Op::IndexAddrLL {
+                        dst,
+                        off_a,
+                        off_b,
+                        elem,
+                    };
+                    return;
+                }
+                Op::LoadLocal {
+                    dst: d,
+                    off: idx_off,
+                } if d == dst + 1 => {
+                    if let Some(i1) = self.fuse2() {
+                        match self.ops[i1] {
+                            // Global-array decay: the base address is
+                            // a compile-time constant.
+                            Op::Const {
+                                dst: b,
+                                v: Value::Ptr(base),
+                            } if b == dst => {
+                                self.ops.pop();
+                                self.ops[i1] = Op::IndexAddrPL {
+                                    dst,
+                                    base,
+                                    idx_off,
+                                    elem,
+                                };
+                                return;
+                            }
+                            Op::LeaLocal {
+                                dst: b,
+                                off: lea_off,
+                            } if b == dst => {
+                                self.ops.pop();
+                                self.ops[i1] = Op::IndexAddrLeaL {
+                                    dst,
+                                    lea_off,
+                                    idx_off,
+                                    elem,
+                                };
+                                return;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.emit(Op::IndexAddr {
+            dst,
+            base: dst,
+            idx: dst + 1,
+            elem,
+        });
+    }
+
+    /// Emit the store half of `local = <expr>`, folding an arithmetic
+    /// op emitted immediately before it (its raw result register is
+    /// transient: the store rewrites `dst` with the converted value).
+    /// Fusion requires `tick == 0` so no step charge is reordered
+    /// against the store.
+    fn emit_store_local(&mut self, off: u32, class: TyClass, dst: u16) {
+        if let Some(i) = self.fuse1() {
+            match self.ops[i] {
+                Op::Arith {
+                    dst: d,
+                    a,
+                    b,
+                    mode,
+                    tick: 0,
+                } if d == dst => {
+                    self.ops[i] = Op::StoreRR {
+                        off,
+                        a,
+                        b,
+                        mode,
+                        class,
+                        dst,
+                    };
+                    return;
+                }
+                Op::ArithLL {
+                    dst: d,
+                    off_a,
+                    off_b,
+                    mode,
+                    tick: 0,
+                } if d == dst => {
+                    self.ops[i] = Op::StoreLL {
+                        off,
+                        off_a,
+                        off_b,
+                        mode,
+                        class,
+                        dst,
+                    };
+                    return;
+                }
+                Op::ArithLI {
+                    dst: d,
+                    off: off_a,
+                    imm,
+                    mode,
+                    tick: 0,
+                } if d == dst => {
+                    self.ops[i] = Op::StoreLI {
+                        off,
+                        off_a,
+                        imm,
+                        mode,
+                        class,
+                        dst,
+                    };
+                    return;
+                }
+                Op::ArithRL {
+                    dst: d,
+                    off: off_b,
+                    mode,
+                    tick: 0,
+                } if d == dst => {
+                    self.ops[i] = Op::StoreRL {
+                        off,
+                        off_b,
+                        mode,
+                        class,
+                        dst,
+                    };
+                    return;
+                }
+                Op::ArithRI {
+                    dst: d,
+                    imm,
+                    mode,
+                    tick: 0,
+                } if d == dst => {
+                    self.ops[i] = Op::StoreRI {
+                        off,
+                        imm,
+                        mode,
+                        class,
+                        dst,
+                    };
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.emit(Op::StoreLocal {
+            off,
+            src: dst,
+            class,
+            dst,
+        });
+    }
+
+    /// Emit a fallible pointer load, folding an address computation
+    /// emitted immediately before it into a single array-read op.
+    fn emit_load(&mut self, dst: u16, addr: u16, tick: u32) {
+        if addr == dst {
+            if let Some(i) = self.fuse1() {
+                match self.ops[i] {
+                    Op::IndexAddr {
+                        dst: d,
+                        base,
+                        idx,
+                        elem,
+                    } if d == dst => {
+                        self.ops[i] = Op::LoadIdx {
+                            dst,
+                            base,
+                            idx,
+                            elem,
+                            tick,
+                        };
+                        return;
+                    }
+                    Op::IndexAddrLL {
+                        dst: d,
+                        off_a,
+                        off_b,
+                        elem,
+                    } if d == dst => {
+                        self.ops[i] = Op::LoadIdxLL {
+                            dst,
+                            off_a,
+                            off_b,
+                            elem,
+                            tick,
+                        };
+                        return;
+                    }
+                    Op::IndexAddrPL {
+                        dst: d,
+                        base,
+                        idx_off,
+                        elem,
+                    } if d == dst => {
+                        self.ops[i] = Op::LoadIdxPL {
+                            dst,
+                            base,
+                            idx_off,
+                            elem,
+                            tick,
+                        };
+                        return;
+                    }
+                    Op::IndexAddrLeaL {
+                        dst: d,
+                        lea_off,
+                        idx_off,
+                        elem,
+                    } if d == dst => {
+                        self.ops[i] = Op::LoadIdxLeaL {
+                            dst,
+                            lea_off,
+                            idx_off,
+                            elem,
+                            tick,
+                        };
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.emit(Op::Load { dst, addr, tick });
+    }
+
+    /// Emit a conditional branch on `src`, folding an immediately
+    /// preceding comparison (whose result register is dead). Returns
+    /// the op index for [`Self::set_else_target`].
+    fn emit_cond_branch(&mut self, src: u16, branch: u32, tick: u32) -> usize {
+        if let Some(i) = self.fuse1() {
+            match self.ops[i] {
+                Op::Arith {
+                    dst,
+                    a,
+                    b,
+                    mode: ArithMode::Cmp(op),
+                    tick: 0,
+                } if dst == src => {
+                    self.ops[i] = Op::CmpBranchRR {
+                        a,
+                        b,
+                        op,
+                        branch,
+                        else_target: 0,
+                        tick,
+                    };
+                    return i;
+                }
+                Op::ArithLL {
+                    dst,
+                    off_a,
+                    off_b,
+                    mode: ArithMode::Cmp(op),
+                    tick: 0,
+                } if dst == src => {
+                    self.ops[i] = Op::CmpBranchLL {
+                        off_a,
+                        off_b,
+                        op,
+                        branch,
+                        else_target: 0,
+                        tick,
+                    };
+                    return i;
+                }
+                Op::ArithLI {
+                    dst,
+                    off,
+                    imm,
+                    mode: ArithMode::Cmp(op),
+                    tick: 0,
+                } if dst == src => {
+                    self.ops[i] = Op::CmpBranchLI {
+                        off,
+                        imm,
+                        op,
+                        branch,
+                        else_target: 0,
+                        tick,
+                    };
+                    return i;
+                }
+                Op::ArithRL {
+                    dst,
+                    off,
+                    mode: ArithMode::Cmp(op),
+                    tick: 0,
+                } if dst == src => {
+                    self.ops[i] = Op::CmpBranchRL {
+                        a: dst,
+                        off,
+                        op,
+                        branch,
+                        else_target: 0,
+                        tick,
+                    };
+                    return i;
+                }
+                Op::ArithRI {
+                    dst,
+                    imm,
+                    mode: ArithMode::Cmp(op),
+                    tick: 0,
+                } if dst == src => {
+                    self.ops[i] = Op::CmpBranchRI {
+                        a: dst,
+                        imm,
+                        op,
+                        branch,
+                        else_target: 0,
+                        tick,
+                    };
+                    return i;
+                }
+                _ => {}
+            }
+        }
+        self.emit(Op::CondBranch {
+            src,
+            branch,
+            else_target: 0,
+            tick,
+        })
+    }
+
+    fn set_else_target(&mut self, idx: usize, pc: u32) {
+        match &mut self.ops[idx] {
+            Op::CondBranch { else_target, .. }
+            | Op::CmpBranchLL { else_target, .. }
+            | Op::CmpBranchLI { else_target, .. }
+            | Op::CmpBranchRR { else_target, .. }
+            | Op::CmpBranchRL { else_target, .. }
+            | Op::CmpBranchRI { else_target, .. } => *else_target = pc,
+            other => unreachable!("else-target patch on {other:?}"),
+        }
+    }
+
+    /// Emit the pending batch as a standalone `Tick` (cold paths with
+    /// no carrier op: before `Fail`, at a ternary's join label).
+    fn flush(&mut self) {
+        if self.pending > 0 {
+            let n = self.pending;
+            self.pending = 0;
+            self.emit(Op::Tick(n));
+        }
+    }
+
+    fn fail(&mut self, e: RuntimeError) {
+        self.flush();
+        let idx = self.fails.len() as u32;
+        self.fails.push(e);
+        self.emit(Op::Fail(idx));
+    }
+
+    /// The dense counter index of edge `src → dst` in the current
+    /// function, allocating one on first use.
+    fn edge(&mut self, src: BlockId, dst: BlockId) -> u32 {
+        let key = (self.cur_fn.0, src.0, dst.0);
+        if let Some(&i) = self.edge_index.get(&key) {
+            return i;
+        }
+        let i = self.edge_keys.len() as u32;
+        self.edge_index.insert(key, i);
+        self.edge_keys.push((self.cur_fn, src, dst));
+        i
+    }
+
+    /// Edge stub: one fused op that ticks `tick`, counts the edge and
+    /// the target's block iteration, then jumps to the target block.
+    fn edge_stub(&mut self, src: BlockId, dst: BlockId, tick: u32) -> u32 {
+        debug_assert_eq!(self.pending, 0);
+        let pc = self.label_here();
+        let edge = self.edge(src, dst);
+        let block = self.block_base[self.cur_fn.0 as usize] + dst.0;
+        let idx = self.emit(Op::EdgeJump {
+            edge,
+            block,
+            target: 0,
+            tick,
+        });
+        self.fixups.push((idx, dst.0));
+        pc
+    }
+
+    fn is_aggregate(ty: &Type) -> bool {
+        matches!(ty, Type::Struct(_) | Type::Array(_, _))
+    }
+
+    fn arith_mode(op: BinOp, ta: NodeTy, tb: NodeTy) -> ArithMode {
+        if op.is_comparison() {
+            return ArithMode::Cmp(op);
+        }
+        let a_ptr = ta.is_ptr_like();
+        let b_ptr = tb.is_ptr_like();
+        match op {
+            BinOp::Add if a_ptr => ArithMode::PtrAddL(ta.elem),
+            BinOp::Add if b_ptr => ArithMode::PtrAddR(tb.elem),
+            BinOp::Sub if a_ptr && b_ptr => ArithMode::PtrDiff(ta.elem.max(1)),
+            BinOp::Sub if a_ptr => ArithMode::PtrSubInt(ta.elem),
+            _ => ArithMode::Num(op),
+        }
+    }
+
+    // ----- function compilation -----
+
+    fn compile_func(&mut self, fid: FuncId, cfg: &Cfg) -> FuncMeta {
+        let func = self.program.module.function(fid);
+        self.cur_fn = fid;
+        self.pending = 0;
+        self.hi = 1;
+        self.fixups.clear();
+        self.block_pc = vec![0; cfg.blocks.len()];
+
+        for block in &cfg.blocks {
+            debug_assert_eq!(self.pending, 0);
+            self.block_pc[block.id.0 as usize] = self.label_here();
+            // One tick per block iteration; the block *counter* is
+            // bumped by the incoming `EdgeJump` (or by function
+            // entry). The interpreter ticks before counting, but a
+            // StepLimit-failing run discards its profile, so the
+            // order is unobservable.
+            self.pending += 1;
+            for instr in &block.instrs {
+                self.instr(func, instr);
+            }
+            self.terminator(block.id, &block.term);
+            debug_assert_eq!(self.pending, 0);
+        }
+
+        // Patch intra-function jumps now that every block has a pc.
+        for &(op_idx, blk) in &self.fixups {
+            match &mut self.ops[op_idx] {
+                Op::EdgeJump { target, .. } => *target = self.block_pc[blk as usize],
+                other => unreachable!("fixup on non-jump {other:?}"),
+            }
+        }
+
+        let structs = &self.program.module.structs;
+        let params = func.locals[..func.param_count]
+            .iter()
+            .map(|local| {
+                if Self::is_aggregate(&local.ty) {
+                    ParamBind::Agg {
+                        off: local.offset as u32,
+                        size: local.size as u32,
+                    }
+                } else {
+                    ParamBind::Scalar {
+                        off: local.offset as u32,
+                        class: NodeTy::of(&local.ty, structs).class,
+                    }
+                }
+            })
+            .collect();
+
+        FuncMeta {
+            entry: self.block_pc[cfg.entry.0 as usize],
+            entry_block: self.block_base[fid.0 as usize] + cfg.entry.0,
+            frame_size: func.frame_size as u32,
+            max_regs: self.hi as u32,
+            params,
+            name: func.name.clone(),
+        }
+    }
+
+    fn instr(&mut self, func: &minic::sema::Function, instr: &Instr) {
+        match instr {
+            Instr::Eval(e) => {
+                self.eval(e, 0);
+            }
+            Instr::Init {
+                local,
+                word,
+                ty,
+                value,
+            } => {
+                self.eval(value, 0);
+                let off = (func.locals[local.0 as usize].offset + word) as u32;
+                if Self::is_aggregate(ty) {
+                    let n = ty.size_words(&self.program.module.structs) as u32;
+                    self.touch(1);
+                    self.emit(Op::LeaLocal { dst: 1, off });
+                    let tick = self.take_pending();
+                    self.emit(Op::CopyWords {
+                        dst_addr: 1,
+                        src: 0,
+                        n,
+                        dst: 1,
+                        tick,
+                    });
+                } else {
+                    let class = NodeTy::of(ty, &self.program.module.structs).class;
+                    self.emit_store_local(off, class, 0);
+                }
+            }
+            Instr::InitStr {
+                local,
+                word,
+                str_idx,
+                pad_to,
+            } => {
+                let s = &self.program.module.strings[*str_idx];
+                let n = s.len().max(*pad_to);
+                let mut img = vec![Value::Int(0); n];
+                for (i, b) in s.bytes().enumerate() {
+                    img[i] = Value::Int(b as i64);
+                }
+                let idx = self.images.len() as u32;
+                self.images.push(img);
+                let off = (func.locals[local.0 as usize].offset + word) as u32;
+                self.emit(Op::InitWordsLocal { off, img: idx });
+            }
+            Instr::InitZero { local, word, len } => {
+                let off = (func.locals[local.0 as usize].offset + word) as u32;
+                self.emit(Op::ZeroLocal {
+                    off,
+                    len: *len as u32,
+                });
+            }
+        }
+    }
+
+    fn terminator(&mut self, blk: BlockId, term: &Terminator) {
+        match term {
+            Terminator::Goto(t) => {
+                let tick = self.take_pending();
+                self.edge_stub(blk, *t, tick);
+            }
+            Terminator::Branch {
+                cond,
+                branch,
+                then_blk,
+                else_blk,
+            } => {
+                self.eval(cond, 0);
+                let tick = self.take_pending();
+                let brid = branch.map_or(NONE32, |b| b.0);
+                let cb = self.emit_cond_branch(0, brid, tick);
+                self.edge_stub(blk, *then_blk, 0);
+                let else_pc = self.label_here();
+                self.set_else_target(cb, else_pc);
+                self.edge_stub(blk, *else_blk, 0);
+            }
+            Terminator::Switch {
+                scrut,
+                cases,
+                default,
+                ..
+            } => {
+                self.eval(scrut, 0);
+                let tick = self.take_pending();
+                let table = self.switch_tables.len() as u32;
+                // Reserve the slot so the op can reference it now.
+                self.switch_tables.push(SwitchTable::Sorted {
+                    keys: Vec::new(),
+                    targets: Vec::new(),
+                    default: 0,
+                });
+                self.emit(Op::SwitchJump {
+                    src: 0,
+                    table,
+                    tick,
+                });
+                // One stub per distinct successor block.
+                let mut stub_pc: Vec<(BlockId, u32)> = Vec::new();
+                for &(_, t) in cases.iter() {
+                    if !stub_pc.iter().any(|&(b, _)| b == t) {
+                        let pc = self.edge_stub(blk, t, 0);
+                        stub_pc.push((t, pc));
+                    }
+                }
+                let default_pc = match stub_pc.iter().find(|&&(b, _)| b == *default) {
+                    Some(&(_, pc)) => pc,
+                    None => {
+                        let pc = self.edge_stub(blk, *default, 0);
+                        stub_pc.push((*default, pc));
+                        pc
+                    }
+                };
+                self.switch_tables[table as usize] =
+                    Self::build_switch_table(cases, &stub_pc, default_pc);
+            }
+            Terminator::Return(e) => {
+                match e {
+                    Some(e) => {
+                        self.eval(e, 0);
+                    }
+                    None => {
+                        self.emit(Op::Const {
+                            dst: 0,
+                            v: Value::Int(0),
+                        });
+                    }
+                }
+                let tick = self.take_pending();
+                self.emit(Op::Ret { src: 0, tick });
+            }
+        }
+    }
+
+    /// Lower the case list to a lookup table. Duplicate case values
+    /// keep the *first* occurrence — the interpreter scans linearly —
+    /// and a dense table is used when the value range is compact.
+    fn build_switch_table(
+        cases: &[(i64, BlockId)],
+        stub_pc: &[(BlockId, u32)],
+        default_pc: u32,
+    ) -> SwitchTable {
+        let pc_of = |b: BlockId| {
+            stub_pc
+                .iter()
+                .find(|&&(sb, _)| sb == b)
+                .map(|&(_, pc)| pc)
+                .expect("stub exists for every case target")
+        };
+        let mut entries: Vec<(i64, u32)> = Vec::with_capacity(cases.len());
+        for &(v, t) in cases {
+            if !entries.iter().any(|&(ev, _)| ev == v) {
+                entries.push((v, pc_of(t)));
+            }
+        }
+        entries.sort_by_key(|&(v, _)| v);
+        if entries.is_empty() {
+            return SwitchTable::Sorted {
+                keys: Vec::new(),
+                targets: Vec::new(),
+                default: default_pc,
+            };
+        }
+        let min = entries[0].0;
+        let max = entries[entries.len() - 1].0;
+        let span = (max as i128 - min as i128) + 1;
+        if span <= entries.len() as i128 * 3 + 8 {
+            let mut targets = vec![NONE32; span as usize];
+            for &(v, pc) in &entries {
+                targets[(v - min) as usize] = pc;
+            }
+            SwitchTable::Dense {
+                min,
+                targets,
+                default: default_pc,
+            }
+        } else {
+            SwitchTable::Sorted {
+                keys: entries.iter().map(|&(v, _)| v).collect(),
+                targets: entries.iter().map(|&(_, pc)| pc).collect(),
+                default: default_pc,
+            }
+        }
+    }
+
+    // ----- places -----
+
+    /// Compile the address computation of an lvalue. Mirrors
+    /// `Interp::place`: one tick on entry, then per-shape work. The
+    /// result only uses registers `>= scratch`.
+    fn place(&mut self, e: &Expr, scratch: u16) -> Place {
+        self.pending += 1;
+        self.touch(scratch);
+        match &e.kind {
+            ExprKind::Ident(_) => match self.resolution(e) {
+                Resolution::Local(lid) => {
+                    let func = self.program.module.function(self.cur_fn);
+                    Place::Local(func.locals[lid.0 as usize].offset as u32)
+                }
+                Resolution::Global(gid) => {
+                    Place::Data((self.global_addr[gid.0 as usize] - 1) as u32)
+                }
+                Resolution::Func(_) | Resolution::Builtin(_) | Resolution::EnumConst(_) => {
+                    self.fail(RuntimeError::Other("constant is not an lvalue".into()));
+                    Place::Reg(scratch)
+                }
+            },
+            ExprKind::Unary(UnOp::Deref, inner) => {
+                self.eval(inner, scratch);
+                Place::Reg(scratch)
+            }
+            ExprKind::Index(base, idx) => {
+                let bt = self.nty(base);
+                if bt.class == TyClass::Agg {
+                    let pb = self.place(base, scratch);
+                    self.place_addr(pb, scratch);
+                } else {
+                    self.eval(base, scratch);
+                }
+                self.eval(idx, scratch + 1);
+                self.emit_index_addr(scratch, bt.elem);
+                Place::Reg(scratch)
+            }
+            ExprKind::Member(base, _, arrow) => {
+                let off = self.tables.member_off[e.id.0 as usize];
+                if off == NONE32 {
+                    self.fail(RuntimeError::Other("member on non-struct".into()));
+                    return Place::Reg(scratch);
+                }
+                if *arrow {
+                    self.eval(base, scratch);
+                    let tick = self.take_pending();
+                    self.emit(Op::MemberAddr {
+                        dst: scratch,
+                        src: scratch,
+                        off,
+                        tick,
+                    });
+                    Place::Reg(scratch)
+                } else {
+                    match self.place(base, scratch) {
+                        // Frame/static bases are never NULL, so the
+                        // interpreter's NULL check cannot fire there.
+                        Place::Local(o) => Place::Local(o + off),
+                        Place::Data(i) => Place::Data(i + off),
+                        Place::Reg(r) => {
+                            let tick = self.take_pending();
+                            self.emit(Op::MemberAddr {
+                                dst: r,
+                                src: r,
+                                off,
+                                tick,
+                            });
+                            Place::Reg(r)
+                        }
+                    }
+                }
+            }
+            ExprKind::Cast(_, inner) => self.place(inner, scratch),
+            _ => {
+                self.fail(RuntimeError::Other(format!(
+                    "expression is not an lvalue: {:?}",
+                    std::mem::discriminant(&e.kind)
+                )));
+                Place::Reg(scratch)
+            }
+        }
+    }
+
+    /// Materialize a place's address as a `Ptr` value in `dst`.
+    fn place_addr(&mut self, p: Place, dst: u16) {
+        self.touch(dst);
+        match p {
+            Place::Local(off) => {
+                self.emit(Op::LeaLocal { dst, off });
+            }
+            Place::Data(idx) => {
+                self.emit(Op::Const {
+                    dst,
+                    v: Value::Ptr(idx as u64 + 1),
+                });
+            }
+            Place::Reg(r) => {
+                self.emit(Op::ToPtr { dst, src: r });
+            }
+        }
+    }
+
+    /// Load an rvalue out of a place (aggregates yield their address).
+    fn load_place(&mut self, nt: NodeTy, p: Place, dst: u16) {
+        self.touch(dst);
+        if nt.class == TyClass::Agg {
+            self.place_addr(p, dst);
+            return;
+        }
+        match p {
+            Place::Local(off) => {
+                self.emit_load_local(dst, off);
+            }
+            Place::Data(idx) => {
+                self.emit(Op::LoadGlobal { dst, idx });
+            }
+            Place::Reg(r) => {
+                let tick = self.take_pending();
+                self.emit_load(dst, r, tick);
+            }
+        }
+    }
+
+    // ----- expressions -----
+
+    /// Compile `e`, leaving its value in `dst`. Only registers
+    /// `>= dst` are written. Mirrors `Interp::eval` tick-for-tick.
+    fn eval(&mut self, e: &Expr, dst: u16) {
+        self.pending += 1;
+        self.touch(dst);
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                self.emit_const_int(dst, *v);
+            }
+            ExprKind::FloatLit(v) => {
+                self.emit(Op::Const {
+                    dst,
+                    v: Value::Float(*v),
+                });
+            }
+            ExprKind::StrLit(_) => {
+                let idx = self.tables.str_idx[e.id.0 as usize];
+                self.emit(Op::Const {
+                    dst,
+                    v: Value::Ptr(self.str_addr[idx as usize]),
+                });
+            }
+            ExprKind::Ident(_) => match self.resolution(e) {
+                Resolution::Func(fid) => {
+                    self.emit(Op::Const {
+                        dst,
+                        v: Value::Fn(fid),
+                    });
+                }
+                Resolution::EnumConst(v) => {
+                    self.emit_const_int(dst, v);
+                }
+                Resolution::Builtin(_) => {
+                    self.fail(RuntimeError::Other("builtin used as a value".into()));
+                }
+                Resolution::Local(_) | Resolution::Global(_) => {
+                    let p = self.place(e, dst);
+                    self.load_place(self.nty(e), p, dst);
+                }
+            },
+            ExprKind::Unary(op, inner) => self.eval_unary(e, *op, inner, dst),
+            ExprKind::Binary(op, a, b) => {
+                let ta = self.nty(a);
+                let tb = self.nty(b);
+                self.eval(a, dst);
+                self.eval(b, dst + 1);
+                let mode = Self::arith_mode(*op, ta, tb);
+                let tick = if mode.fallible() {
+                    self.take_pending()
+                } else {
+                    0
+                };
+                self.emit_arith(dst, mode, tick);
+            }
+            ExprKind::LogAnd(a, b) => {
+                self.eval(a, dst);
+                let t1 = self.take_pending();
+                let j1 = self.emit(Op::JumpIfFalse {
+                    src: dst,
+                    target: 0,
+                    tick: t1,
+                });
+                self.eval(b, dst);
+                self.emit(Op::Bool { dst, src: dst });
+                let t2 = self.take_pending();
+                let j2 = self.emit(Op::Jump {
+                    target: 0,
+                    tick: t2,
+                });
+                self.patch_jump_here(j1);
+                self.emit(Op::Const {
+                    dst,
+                    v: Value::Int(0),
+                });
+                self.patch_jump_here(j2);
+            }
+            ExprKind::LogOr(a, b) => {
+                self.eval(a, dst);
+                let t1 = self.take_pending();
+                let j1 = self.emit(Op::JumpIfTrue {
+                    src: dst,
+                    target: 0,
+                    tick: t1,
+                });
+                self.eval(b, dst);
+                self.emit(Op::Bool { dst, src: dst });
+                let t2 = self.take_pending();
+                let j2 = self.emit(Op::Jump {
+                    target: 0,
+                    tick: t2,
+                });
+                self.patch_jump_here(j1);
+                self.emit(Op::Const {
+                    dst,
+                    v: Value::Int(1),
+                });
+                self.patch_jump_here(j2);
+            }
+            ExprKind::Assign(op, lhs, rhs) => self.eval_assign(*op, lhs, rhs, dst),
+            ExprKind::Call(callee, args) => self.eval_call(e, callee, args, dst),
+            ExprKind::Index(_, _) | ExprKind::Member(_, _, _) => {
+                let p = self.place(e, dst);
+                self.load_place(self.nty(e), p, dst);
+            }
+            ExprKind::Cond(c, t, f) => {
+                self.eval(c, dst);
+                let tick = self.take_pending();
+                let branch = self.tables.branch[e.id.0 as usize];
+                let cb = self.emit_cond_branch(dst, branch, tick);
+                self.eval(t, dst);
+                let jt = self.take_pending();
+                let j = self.emit(Op::Jump {
+                    target: 0,
+                    tick: jt,
+                });
+                let else_pc = self.label_here();
+                self.set_else_target(cb, else_pc);
+                self.eval(f, dst);
+                self.flush();
+                self.patch_jump_here(j);
+            }
+            ExprKind::Cast(_, inner) => {
+                self.eval(inner, dst);
+                let class = self.nty(e).class;
+                if !matches!(class, TyClass::Agg | TyClass::Other) {
+                    self.emit(Op::Conv {
+                        dst,
+                        src: dst,
+                        class,
+                    });
+                }
+            }
+            ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => {
+                self.emit_const_int(dst, self.tables.sizeof_val[e.id.0 as usize]);
+            }
+            ExprKind::Comma(a, b) => {
+                self.eval(a, dst);
+                self.eval(b, dst);
+            }
+        }
+    }
+
+    fn patch_jump_here(&mut self, op_idx: usize) {
+        let here = self.label_here();
+        match &mut self.ops[op_idx] {
+            Op::Jump { target, .. }
+            | Op::JumpIfFalse { target, .. }
+            | Op::JumpIfTrue { target, .. } => *target = here,
+            other => unreachable!("patch on non-jump {other:?}"),
+        }
+    }
+
+    fn eval_unary(&mut self, e: &Expr, op: UnOp, inner: &Expr, dst: u16) {
+        match op {
+            UnOp::Neg => {
+                self.eval(inner, dst);
+                self.emit(Op::Neg { dst, src: dst });
+            }
+            UnOp::Not => {
+                self.eval(inner, dst);
+                self.emit(Op::LogicNot { dst, src: dst });
+            }
+            UnOp::BitNot => {
+                self.eval(inner, dst);
+                self.emit(Op::BitNot { dst, src: dst });
+            }
+            UnOp::Deref => {
+                let nt = self.nty(e);
+                // `*f` on a function pointer is the function pointer.
+                if nt.class == TyClass::FnPtr && self.nty(inner).class == TyClass::FnPtr {
+                    self.eval(inner, dst);
+                    return;
+                }
+                self.eval(inner, dst);
+                if nt.class == TyClass::Agg {
+                    self.emit(Op::ToPtr { dst, src: dst });
+                } else {
+                    let tick = self.take_pending();
+                    self.emit_load(dst, dst, tick);
+                }
+            }
+            UnOp::Addr => {
+                // `&f` yields the function pointer itself, no place walk.
+                if let ExprKind::Ident(_) = &inner.kind {
+                    if let Some(Resolution::Func(fid)) =
+                        self.program.module.side.resolutions.get(&inner.id)
+                    {
+                        self.emit(Op::Const {
+                            dst,
+                            v: Value::Fn(*fid),
+                        });
+                        return;
+                    }
+                }
+                let p = self.place(inner, dst);
+                self.place_addr(p, dst);
+            }
+            UnOp::PreInc | UnOp::PreDec | UnOp::PostInc | UnOp::PostDec => {
+                let nt = self.nty(inner);
+                let step = if nt.class == TyClass::Ptr {
+                    nt.elem as i64
+                } else {
+                    1
+                };
+                let delta = match op {
+                    UnOp::PreInc | UnOp::PostInc => step,
+                    _ => -step,
+                };
+                let post = matches!(op, UnOp::PostInc | UnOp::PostDec);
+                match self.place(inner, dst) {
+                    Place::Local(off) => {
+                        self.emit(Op::IncDecLocal {
+                            dst,
+                            off,
+                            delta,
+                            post,
+                        });
+                    }
+                    Place::Data(idx) => {
+                        self.emit(Op::IncDecGlobal {
+                            dst,
+                            idx,
+                            delta,
+                            post,
+                        });
+                    }
+                    Place::Reg(r) => {
+                        let tick = self.take_pending();
+                        self.emit(Op::IncDec {
+                            dst,
+                            addr: r,
+                            delta,
+                            post,
+                            tick,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn eval_assign(&mut self, op: Option<BinOp>, lhs: &Expr, rhs: &Expr, dst: u16) {
+        let lty = self.nty(lhs);
+        match op {
+            None => {
+                if lty.class == TyClass::Agg {
+                    let p = self.place(lhs, dst);
+                    self.place_addr(p, dst);
+                    self.eval(rhs, dst + 1);
+                    let tick = self.take_pending();
+                    self.emit(Op::CopyWords {
+                        dst_addr: dst,
+                        src: dst + 1,
+                        n: lty.size,
+                        dst,
+                        tick,
+                    });
+                } else {
+                    match self.place(lhs, dst) {
+                        Place::Local(off) => {
+                            self.eval(rhs, dst);
+                            self.emit_store_local(off, lty.class, dst);
+                        }
+                        Place::Data(idx) => {
+                            self.eval(rhs, dst);
+                            self.emit(Op::StoreGlobal {
+                                idx,
+                                src: dst,
+                                class: lty.class,
+                                dst,
+                            });
+                        }
+                        Place::Reg(r) => {
+                            self.eval(rhs, dst + 1);
+                            let tick = self.take_pending();
+                            self.emit(Op::Store {
+                                addr: r,
+                                src: dst + 1,
+                                class: lty.class,
+                                dst,
+                                tick,
+                            });
+                        }
+                    }
+                }
+            }
+            Some(op) => {
+                let mode = Self::arith_mode(op, lty, self.nty(rhs));
+                match self.place(lhs, dst) {
+                    Place::Local(off) => {
+                        self.eval(rhs, dst);
+                        let tick = if mode.fallible() {
+                            self.take_pending()
+                        } else {
+                            0
+                        };
+                        self.emit(Op::RmwLocal {
+                            off,
+                            src: dst,
+                            mode,
+                            class: lty.class,
+                            dst,
+                            tick,
+                        });
+                    }
+                    Place::Data(idx) => {
+                        self.eval(rhs, dst);
+                        let tick = if mode.fallible() {
+                            self.take_pending()
+                        } else {
+                            0
+                        };
+                        self.emit(Op::RmwGlobal {
+                            idx,
+                            src: dst,
+                            mode,
+                            class: lty.class,
+                            dst,
+                            tick,
+                        });
+                    }
+                    Place::Reg(r) => {
+                        self.eval(rhs, dst + 1);
+                        let tick = self.take_pending();
+                        self.emit(Op::Rmw {
+                            addr: r,
+                            src: dst + 1,
+                            mode,
+                            class: lty.class,
+                            dst,
+                            tick,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn eval_call(&mut self, e: &Expr, callee: &Expr, args: &[Expr], dst: u16) {
+        let site = self.tables.call_site[e.id.0 as usize];
+        debug_assert_ne!(site, NONE32, "sema registered every call site");
+        self.emit(Op::BumpSite(site));
+        let cs = &self.program.module.side.call_sites[site as usize];
+        let nargs = u16::try_from(args.len()).expect("argument count fits u16");
+        match cs.callee {
+            CalleeKind::Direct(fid) => {
+                for (i, a) in args.iter().enumerate() {
+                    self.eval(a, dst + i as u16);
+                }
+                if self.program.cfg_opt(fid).is_none() {
+                    let name = self.program.module.function(fid).name.clone();
+                    self.fail(RuntimeError::Undefined { name });
+                } else {
+                    let tick = self.take_pending();
+                    self.emit(Op::CallDirect {
+                        func: fid.0,
+                        argbase: dst,
+                        nargs,
+                        dst,
+                        tick,
+                    });
+                }
+            }
+            CalleeKind::Builtin(b) => {
+                for (i, a) in args.iter().enumerate() {
+                    self.eval(a, dst + i as u16);
+                }
+                let tick = self.take_pending();
+                self.emit(Op::CallBuiltin {
+                    b,
+                    argbase: dst,
+                    nargs,
+                    dst,
+                    tick,
+                });
+            }
+            CalleeKind::Indirect => {
+                self.eval(callee, dst);
+                let tick = self.take_pending();
+                self.emit(Op::CheckFn { src: dst, tick });
+                for (i, a) in args.iter().enumerate() {
+                    self.eval(a, dst + 1 + i as u16);
+                }
+                let tick = self.take_pending();
+                self.emit(Op::CallIndirect {
+                    callee: dst,
+                    argbase: dst + 1,
+                    nargs,
+                    dst,
+                    tick,
+                });
+            }
+        }
+    }
+}

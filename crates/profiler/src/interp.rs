@@ -52,7 +52,7 @@ impl Value {
         }
     }
 
-    fn to_int(self) -> i64 {
+    pub(crate) fn to_int(self) -> i64 {
         match self {
             Value::Int(v) => v,
             Value::Float(v) => v as i64,
@@ -61,7 +61,7 @@ impl Value {
         }
     }
 
-    fn to_float(self) -> f64 {
+    pub(crate) fn to_float(self) -> f64 {
         match self {
             Value::Int(v) => v as f64,
             Value::Float(v) => v,
@@ -70,7 +70,7 @@ impl Value {
         }
     }
 
-    fn to_ptr(self) -> u64 {
+    pub(crate) fn to_ptr(self) -> u64 {
         match self {
             Value::Ptr(p) => p,
             Value::Int(v) => v as u64,
@@ -191,7 +191,14 @@ impl RunOutcome {
     }
 }
 
-/// Runs `main` and collects a profile.
+/// Runs `main` by walking the CFG/AST directly and collects a profile.
+///
+/// This is the original tree-walking interpreter, retained as the
+/// differential-testing oracle for the bytecode VM behind
+/// [`crate::run`] — exactly as `linsolve`'s dense solver is the oracle
+/// for the sparse one. The two must agree on exit code, output,
+/// steps, and the full [`Profile`]; `tests/properties.rs` enforces
+/// this on random programs.
 ///
 /// # Errors
 ///
@@ -201,7 +208,7 @@ impl RunOutcome {
 /// # Examples
 ///
 /// ```
-/// use profiler::{run, RunConfig};
+/// use profiler::{run_ast, RunConfig};
 ///
 /// let module = minic::compile(r#"
 ///     int main(void) {
@@ -212,11 +219,11 @@ impl RunOutcome {
 ///     }
 /// "#).unwrap();
 /// let program = flowgraph::build_program(&module);
-/// let out = run(&program, &RunConfig::default()).unwrap();
+/// let out = run_ast(&program, &RunConfig::default()).unwrap();
 /// assert_eq!(out.stdout(), "45\n");
 /// assert_eq!(out.exit_code, 0);
 /// ```
-pub fn run(program: &Program, config: &RunConfig) -> Result<RunOutcome, RuntimeError> {
+pub fn run_ast(program: &Program, config: &RunConfig) -> Result<RunOutcome, RuntimeError> {
     // Deep MiniC recursion nests Rust stack frames; give the
     // interpreter a roomy stack of its own.
     std::thread::scope(|scope| {
@@ -253,18 +260,19 @@ fn run_on_this_thread(program: &Program, config: &RunConfig) -> Result<RunOutcom
 
 /// A compact classification of an expression's type, precomputed per
 /// AST node so the hot evaluation loop never touches a `HashMap` or
-/// clones a `Type`.
+/// clones a `Type`. Shared with the bytecode compiler, which uses the
+/// same classification to pick type-specialized opcodes.
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct NodeTy {
-    class: TyClass,
+pub(crate) struct NodeTy {
+    pub(crate) class: TyClass,
     /// Element size in words for pointer-like types (1 otherwise).
-    elem: u32,
+    pub(crate) elem: u32,
     /// Total size in words (aggregates; 1 for scalars).
-    size: u32,
+    pub(crate) size: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum TyClass {
+pub(crate) enum TyClass {
     Int,
     Float,
     Ptr,
@@ -274,13 +282,13 @@ enum TyClass {
 }
 
 impl NodeTy {
-    const DEFAULT: NodeTy = NodeTy {
+    pub(crate) const DEFAULT: NodeTy = NodeTy {
         class: TyClass::Int,
         elem: 1,
         size: 1,
     };
 
-    fn of(ty: &Type, structs: &minic::types::StructLayouts) -> NodeTy {
+    pub(crate) fn of(ty: &Type, structs: &minic::types::StructLayouts) -> NodeTy {
         match ty {
             Type::Int | Type::Char => NodeTy::DEFAULT,
             Type::Float => NodeTy {
@@ -319,26 +327,26 @@ impl NodeTy {
         }
     }
 
-    fn is_ptr_like(self) -> bool {
+    pub(crate) fn is_ptr_like(self) -> bool {
         matches!(self.class, TyClass::Ptr | TyClass::Agg)
     }
 }
 
 /// Dense per-node lookup tables (indexed by `NodeId`).
-struct NodeTables {
-    ty: Vec<NodeTy>,
-    resolution: Vec<Option<Resolution>>,
-    call_site: Vec<u32>,
-    branch: Vec<u32>,
-    str_idx: Vec<u32>,
-    member_off: Vec<u32>,
-    sizeof_val: Vec<i64>,
+pub(crate) struct NodeTables {
+    pub(crate) ty: Vec<NodeTy>,
+    pub(crate) resolution: Vec<Option<Resolution>>,
+    pub(crate) call_site: Vec<u32>,
+    pub(crate) branch: Vec<u32>,
+    pub(crate) str_idx: Vec<u32>,
+    pub(crate) member_off: Vec<u32>,
+    pub(crate) sizeof_val: Vec<i64>,
 }
 
-const NONE32: u32 = u32::MAX;
+pub(crate) const NONE32: u32 = u32::MAX;
 
 impl NodeTables {
-    fn build(program: &Program) -> Self {
+    pub(crate) fn build(program: &Program) -> Self {
         let side = &program.module.side;
         let structs = &program.module.structs;
         let max_key = side
@@ -725,7 +733,7 @@ impl<'p> Interp<'p> {
                 let func = self.program.module.function(self.cur_fn);
                 let base =
                     STACK_BASE + (self.fp + func.locals[local.0 as usize].offset + word) as u64;
-                let s = self.program.module.strings[*str_idx].clone();
+                let s: &str = &self.program.module.strings[*str_idx];
                 for (i, b) in s.bytes().enumerate() {
                     self.store(base + i as u64, Value::Int(b as i64))?;
                 }
@@ -1342,7 +1350,7 @@ impl<'p> Interp<'p> {
 }
 
 /// Converts a value for storage into a slot of the given class.
-fn convert_for_class(class: TyClass, v: Value) -> Value {
+pub(crate) fn convert_for_class(class: TyClass, v: Value) -> Value {
     match class {
         TyClass::Int => Value::Int(v.to_int()),
         TyClass::Float => Value::Float(v.to_float()),

@@ -32,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod cost;
 pub mod interp;
 pub mod profile;
 
-pub use interp::{run, RunConfig, RunOutcome, RuntimeError, Value};
+pub use bytecode::{compile, run, CompiledProgram};
+pub use interp::{run_ast, RunConfig, RunOutcome, RuntimeError, Value};
 pub use profile::{aggregate, AggregateProfile, Profile};
 
 #[cfg(test)]

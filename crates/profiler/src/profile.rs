@@ -11,7 +11,7 @@ use minic::sema::{BranchId, CallSiteId, FuncId};
 use std::collections::HashMap;
 
 /// Dynamic counts from one program run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Profile {
     /// `block_counts[func][block]` = times the block executed.
     pub block_counts: Vec<Vec<u64>>,

@@ -69,14 +69,33 @@ impl BenchProgram {
     /// Runs the program on every standard input, returning the
     /// outcomes (profile + output) in input order.
     ///
+    /// The program is compiled to bytecode once; the inputs then
+    /// execute in parallel against the shared [`profiler::CompiledProgram`]
+    /// (it is immutable — all run state lives in the VM). Results
+    /// come back in input order regardless of completion order, and
+    /// on error the first failing input (in input order) wins, so
+    /// the observable behavior matches the old sequential loop.
+    ///
     /// # Errors
     ///
     /// Propagates any [`RuntimeError`] — suite programs are expected
     /// to run cleanly on their standard inputs.
     pub fn run_all(&self, program: &Program) -> Result<Vec<RunOutcome>, RuntimeError> {
-        self.inputs()
+        let compiled = profiler::compile(program);
+        let inputs = self.inputs();
+        let mut results: Vec<Option<Result<RunOutcome, RuntimeError>>> = Vec::new();
+        results.resize_with(inputs.len(), || None);
+        std::thread::scope(|s| {
+            for (slot, input) in results.iter_mut().zip(inputs) {
+                let compiled = &compiled;
+                s.spawn(move || {
+                    *slot = Some(compiled.execute(&RunConfig::with_input(input)));
+                });
+            }
+        });
+        results
             .into_iter()
-            .map(|input| profiler::run(program, &RunConfig::with_input(input)))
+            .map(|r| r.expect("scoped thread filled its slot"))
             .collect()
     }
 

@@ -255,7 +255,11 @@ fn markov_arcs(program: &Program, local: &HashMap<u32, f64>) -> (usize, Vec<(usi
                 count as f64 / total_count as f64;
         }
     }
-    let arcs = merged.into_iter().map(|((s, d), w)| (s, d, w)).collect();
+    // Sort so the solver sees arcs in a fixed order: the sparse solve
+    // accumulates floats in arc order, and HashMap iteration order
+    // would otherwise leak last-ulp differences into the estimates.
+    let mut arcs: Vec<_> = merged.into_iter().map(|((s, d), w)| (s, d, w)).collect();
+    arcs.sort_by_key(|&(s, d, _)| (s, d));
     (n + 1, arcs)
 }
 
@@ -344,8 +348,9 @@ fn markov(program: &Program, intra: &IntraEstimates) -> Vec<f64> {
 /// weights are written back into `arcs`.
 fn repair_scc(arcs: &mut [(usize, usize, f64)], scc: &[usize], _size: usize) {
     let in_scc = |v: usize| scc.contains(&v);
-    // External inflow per member.
-    let mut inflow: HashMap<usize, f64> = HashMap::new();
+    // External inflow per member. BTreeMap so the `total` float sum
+    // below accumulates in a fixed order.
+    let mut inflow: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
     for &(s, d, w) in arcs.iter() {
         if !in_scc(s) && in_scc(d) {
             *inflow.entry(d).or_insert(0.0) += w;

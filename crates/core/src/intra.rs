@@ -415,7 +415,12 @@ pub fn edge_probabilities(
                 *weight.entry(*default).or_insert(0.0) +=
                     rest.max(if assigned == 0.0 { 1.0 } else { 0.0 });
                 let sum: f64 = weight.values().sum::<f64>().max(1.0);
-                weight.into_iter().map(|(t, w)| (t, w / sum)).collect()
+                // Fixed order: arc insertion order reaches the sparse
+                // solver's float accumulation, and HashMap order would
+                // make the estimates run-to-run nondeterministic.
+                let mut out: Vec<_> = weight.into_iter().map(|(t, w)| (t, w / sum)).collect();
+                out.sort_by_key(|&(t, _)| t);
+                out
             }
             Terminator::Return(_) => Vec::new(),
         })

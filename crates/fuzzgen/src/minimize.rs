@@ -1,0 +1,283 @@
+//! Structural test-case minimization.
+//!
+//! The vendored `proptest` stub deliberately has no shrinking, so the
+//! fuzzer brings its own: a fixpoint loop of IR-level reductions over
+//! [`Prog`]. Because every candidate is produced by mutating the
+//! generator IR and re-rendering — never by editing source text — each
+//! candidate is still structurally well-formed (matched goto/label
+//! pairs, guarded loops, balanced braces), which keeps the search in
+//! the space of *interesting* programs instead of syntax errors.
+//!
+//! Reduction passes, applied until none of them makes progress:
+//!
+//! 1. clear whole non-`main` function bodies;
+//! 2. delete statement ranges (halving window sizes down to single
+//!    statements);
+//! 3. hoist the bodies out of structural statements (`if`/loops/
+//!    `switch`/goto forms), deleting the wrapper;
+//! 4. replace embedded condition/scrutinee expressions with `1` or `0`;
+//! 5. drop whole language features (pointers, structs, floats, chars,
+//!    function pointers, local arrays) and shrink the recursion fuel.
+//!
+//! A candidate is accepted when the caller's predicate still holds —
+//! typically "the same oracle still fails" — so minimization never
+//! changes the failure kind under investigation.
+
+use crate::gen::{Prog, Stmt};
+
+/// Address of one nested statement list inside a [`Prog`]: a function
+/// index plus a path of (statement index, child-list index) hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VecAddr {
+    func: usize,
+    path: Vec<(usize, usize)>,
+}
+
+fn collect_addrs(prog: &mut Prog) -> Vec<VecAddr> {
+    let mut out = Vec::new();
+    for fi in 0..prog.funcs.len() {
+        let mut path = Vec::new();
+        walk(&mut prog.funcs[fi].body, fi, &mut path, &mut out);
+    }
+    out
+}
+
+fn walk(vec: &mut [Stmt], func: usize, path: &mut Vec<(usize, usize)>, out: &mut Vec<VecAddr>) {
+    out.push(VecAddr {
+        func,
+        path: path.clone(),
+    });
+    for (si, stmt) in vec.iter_mut().enumerate() {
+        for (ci, child) in stmt.child_vecs_mut().into_iter().enumerate() {
+            path.push((si, ci));
+            walk(child, func, path, out);
+            path.pop();
+        }
+    }
+}
+
+fn get_vec_mut<'a>(prog: &'a mut Prog, addr: &VecAddr) -> Option<&'a mut Vec<Stmt>> {
+    let mut vec = &mut prog.funcs.get_mut(addr.func)?.body;
+    for &(si, ci) in &addr.path {
+        if si >= vec.len() {
+            return None;
+        }
+        vec = vec[si].child_vecs_mut().into_iter().nth(ci)?;
+    }
+    Some(vec)
+}
+
+/// Shrinks `prog` while `is_interesting` keeps returning `true`
+/// (it must hold for the input). Returns the fixpoint.
+pub fn minimize(mut prog: Prog, is_interesting: impl Fn(&Prog) -> bool) -> Prog {
+    debug_assert!(is_interesting(&prog), "input must be interesting");
+    loop {
+        let mut changed = false;
+
+        // Pass 1: clear whole non-main function bodies.
+        for fi in 0..prog.funcs.len() {
+            if prog.funcs[fi].is_main || prog.funcs[fi].body.is_empty() {
+                continue;
+            }
+            let mut cand = prog.clone();
+            cand.funcs[fi].body.clear();
+            if is_interesting(&cand) {
+                prog = cand;
+                changed = true;
+            }
+        }
+
+        // Pass 2: delete statement ranges, largest windows first.
+        for addr in collect_addrs(&mut prog) {
+            while let Some(len) = get_vec_mut(&mut prog, &addr).map(|v| v.len()) {
+                if len == 0 {
+                    break;
+                }
+                let mut progressed = false;
+                let mut size = len;
+                while size >= 1 {
+                    let mut start = 0;
+                    while start < len_of(&mut prog, &addr) {
+                        let mut cand = prog.clone();
+                        let v = get_vec_mut(&mut cand, &addr).expect("addr valid on clone");
+                        let end = (start + size).min(v.len());
+                        if start >= end {
+                            break;
+                        }
+                        v.drain(start..end);
+                        if is_interesting(&cand) {
+                            prog = cand;
+                            changed = true;
+                            progressed = true;
+                            // Keep `start` in place: the tail shifted
+                            // left into it.
+                        } else {
+                            start += size;
+                        }
+                    }
+                    size /= 2;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+
+        // Pass 3: hoist structural statements' bodies.
+        'hoist: loop {
+            for addr in collect_addrs(&mut prog) {
+                let len = len_of(&mut prog, &addr);
+                for si in 0..len {
+                    let mut cand = prog.clone();
+                    let v = get_vec_mut(&mut cand, &addr).expect("addr valid on clone");
+                    let mut stmt = v[si].clone();
+                    let kids = stmt.child_vecs_mut();
+                    if kids.is_empty() {
+                        continue;
+                    }
+                    let mut repl = Vec::new();
+                    for k in kids {
+                        repl.append(k);
+                    }
+                    v.splice(si..si + 1, repl);
+                    if is_interesting(&cand) {
+                        prog = cand;
+                        changed = true;
+                        continue 'hoist;
+                    }
+                }
+            }
+            break;
+        }
+
+        // Pass 4: simplify embedded expressions to constants.
+        for addr in collect_addrs(&mut prog) {
+            let len = len_of(&mut prog, &addr);
+            for si in 0..len {
+                let mut ei = 0;
+                loop {
+                    let n_exprs = get_vec_mut(&mut prog, &addr)
+                        .and_then(|v| v.get_mut(si))
+                        .map_or(0, |s| s.exprs_mut().len());
+                    if ei >= n_exprs {
+                        break;
+                    }
+                    for constant in ["1", "0"] {
+                        let mut cand = prog.clone();
+                        let expr = get_vec_mut(&mut cand, &addr)
+                            .and_then(|v| v.get_mut(si))
+                            .and_then(|s| s.exprs_mut().into_iter().nth(ei));
+                        let Some(e) = expr else { break };
+                        // Constants are already minimal; rewriting
+                        // between them would oscillate forever.
+                        if *e == "1" || *e == "0" {
+                            break;
+                        }
+                        *e = constant.to_string();
+                        if is_interesting(&cand) {
+                            prog = cand;
+                            changed = true;
+                            break;
+                        }
+                    }
+                    ei += 1;
+                }
+            }
+        }
+
+        // Pass 5: drop whole features and shrink the fuel.
+        for cand in feature_candidates(&prog) {
+            if is_interesting(&cand) {
+                prog = cand;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            return prog;
+        }
+    }
+}
+
+fn len_of(prog: &mut Prog, addr: &VecAddr) -> usize {
+    get_vec_mut(prog, addr).map_or(0, |v| v.len())
+}
+
+fn feature_candidates(prog: &Prog) -> Vec<Prog> {
+    let mut out = Vec::new();
+    if prog.use_ptrs {
+        let mut c = prog.clone();
+        c.use_ptrs = false;
+        c.funcs.iter_mut().for_each(|f| f.has_ptr = false);
+        out.push(c);
+    }
+    if prog.use_struct {
+        let mut c = prog.clone();
+        c.use_struct = false;
+        c.funcs.iter_mut().for_each(|f| f.has_struct = false);
+        out.push(c);
+    }
+    if prog.use_floats {
+        let mut c = prog.clone();
+        c.use_floats = false;
+        c.funcs.iter_mut().for_each(|f| f.has_float = false);
+        out.push(c);
+    }
+    if prog.use_fnptr {
+        let mut c = prog.clone();
+        c.use_fnptr = false;
+        out.push(c);
+    }
+    if prog.funcs.iter().any(|f| f.has_char) {
+        let mut c = prog.clone();
+        c.funcs.iter_mut().for_each(|f| f.has_char = false);
+        out.push(c);
+    }
+    if prog.funcs.iter().any(|f| f.has_local_array) {
+        let mut c = prog.clone();
+        c.funcs.iter_mut().for_each(|f| f.has_local_array = false);
+        out.push(c);
+    }
+    for fuel in [1, 5, 20] {
+        if prog.fuel > fuel {
+            let mut c = prog.clone();
+            c.fuel = fuel;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn minimizes_to_an_empty_main_when_everything_is_interesting() {
+        // With an always-true predicate the minimizer must reach a
+        // (near-)empty program without ever producing an invalid
+        // address or panicking.
+        let prog = generate(7);
+        let min = minimize(prog, |_| true);
+        assert!(min.funcs.iter().all(|f| f.body.is_empty()));
+        assert!(!min.use_ptrs && !min.use_struct && !min.use_floats);
+    }
+
+    #[test]
+    fn preserves_the_predicate() {
+        // Keep programs that still contain a switch statement; the
+        // result must still contain one.
+        let has_switch = |p: &Prog| p.render().contains("switch");
+        let mut seed = 0;
+        let prog = loop {
+            let p = generate(seed);
+            if has_switch(&p) {
+                break p;
+            }
+            seed += 1;
+        };
+        let min = minimize(prog, has_switch);
+        assert!(has_switch(&min));
+    }
+}

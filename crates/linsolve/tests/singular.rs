@@ -1,0 +1,138 @@
+//! Singular and degenerate flow systems: hand-built cases where `I − Wᵀ`
+//! has no unique solution and both solver paths must fall back to the
+//! damped truncation — and agree with each other.
+//!
+//! The damped model computes `x = Σ_k (0.999·Wᵀ)^k b`, so for any
+//! system with non-negative weights and injection the fallback is
+//! finite and non-negative by construction; these tests pin that down
+//! on the shapes the fuzzer's closed-CFG oracle generates (see
+//! `crates/fuzzgen`).
+
+use linsolve::{FlowSystem, Matrix, SolveError};
+
+/// The damped iteration stops when the max-norm step drops below 1e-9;
+/// the remaining distance to the fixed point is about `step/(1−d)`, so
+/// answers of magnitude ~1000 agree to ~1e-6 at best.
+const DAMPED_TOL: f64 = 1e-4;
+
+/// When only part of the graph is singular the two paths model it
+/// differently: dense damping scales *every* arc by `d = 0.999`, while
+/// the sparse path damps only inside the singular component. Arcs
+/// crossing into or out of the damped region therefore differ by a
+/// factor of `d`, i.e. one part in a thousand.
+const MIXED_TOL: f64 = 5e-3;
+
+fn assert_close(sparse: &[f64], dense: &[f64], tol: f64) {
+    assert_eq!(sparse.len(), dense.len());
+    for (i, (a, b)) in sparse.iter().zip(dense).enumerate() {
+        assert!(a.is_finite() && *a >= 0.0, "sparse[{i}] = {a}");
+        assert!(b.is_finite() && *b >= 0.0, "dense[{i}] = {b}");
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!(
+            (a - b).abs() <= tol * scale,
+            "node {i}: sparse {a} vs dense {b}"
+        );
+    }
+}
+
+#[test]
+fn zero_row_matrix_reports_singular() {
+    // A row of zeros: no pivot anywhere in that column's elimination.
+    let m = Matrix::from_rows(&[
+        vec![1.0, 2.0, 0.0],
+        vec![0.0, 0.0, 0.0],
+        vec![0.0, 1.0, 1.0],
+    ]);
+    let err = m.solve(&[1.0, 1.0, 1.0]).expect_err("zero row is singular");
+    assert!(matches!(err, SolveError::Singular { .. }));
+}
+
+#[test]
+fn inescapable_self_loop_matches_dense() {
+    // Probability-1 self loop: (I − Wᵀ) has a zero row, so the direct
+    // solve fails on both paths. The sparse path uses the damped closed
+    // form 1/(1 − 0.999) = 1000; the dense path iterates to the same
+    // fixed point.
+    let mut sys = FlowSystem::new(1);
+    sys.inject(0, 1.0);
+    sys.add_arc(0, 0, 1.0);
+    let sparse = sys.solve().expect("damped closed form");
+    let dense = sys.solve_dense().expect("damped iteration converges");
+    assert!((sparse[0] - 1000.0).abs() < 1e-6, "got {}", sparse[0]);
+    assert_close(&sparse, &dense, DAMPED_TOL);
+}
+
+#[test]
+fn closed_two_cycle_matches_dense() {
+    // 0 ⇄ 1 with weight 1 each way and injection at 0: one singular
+    // SCC covering the whole graph. The sparse path's local damped
+    // solve and the dense path's global damped solve are the same
+    // iteration, so they must agree tightly.
+    let mut sys = FlowSystem::new(2);
+    sys.inject(0, 1.0);
+    sys.add_arc(0, 1, 1.0);
+    sys.add_arc(1, 0, 1.0);
+    let sparse = sys.solve().expect("sparse converges");
+    let dense = sys.solve_dense().expect("dense converges");
+    // x0 = 1 + d²·x0 → x0 = 1/(1 − d²) ≈ 500.25.
+    assert!((sparse[0] - 1.0 / (1.0 - 0.999 * 0.999)).abs() < 1e-3);
+    assert_close(&sparse, &dense, DAMPED_TOL);
+}
+
+#[test]
+fn chain_feeding_a_closed_cycle_matches_dense() {
+    // An acyclic prefix (0 → 1) ending in an inescapable 2-cycle
+    // (1 ⇄ 2): the sparse path solves the chain exactly and only damps
+    // the cycle, while the dense path damps globally. They must still
+    // land on the same fixed point within the damped tolerance.
+    let mut sys = FlowSystem::new(3);
+    sys.inject(0, 1.0);
+    sys.add_arc(0, 1, 1.0);
+    sys.add_arc(1, 2, 1.0);
+    sys.add_arc(2, 1, 1.0);
+    let sparse = sys.solve().expect("sparse converges");
+    let dense = sys.solve_dense().expect("dense converges");
+    assert!((sparse[0] - 1.0).abs() < 1e-12, "chain head is exact");
+    assert!(sparse[1] > 100.0, "cycle members amplify: {}", sparse[1]);
+    assert_close(&sparse, &dense, MIXED_TOL);
+}
+
+#[test]
+fn disconnected_node_with_no_injection_stays_zero() {
+    // Node 2 has no arcs and no injection: its equation is the identity
+    // row x = 0, which must survive both paths even when the rest of
+    // the system is singular.
+    let mut sys = FlowSystem::new(3);
+    sys.inject(0, 1.0);
+    sys.add_arc(0, 0, 1.0); // singular self-loop elsewhere
+    sys.add_arc(0, 1, 0.5);
+    let sparse = sys.solve().expect("sparse converges");
+    let dense = sys.solve_dense().expect("dense converges");
+    assert_eq!(sparse[2], 0.0);
+    assert!(dense[2].abs() < 1e-12);
+    assert_close(&sparse, &dense, MIXED_TOL);
+}
+
+#[test]
+fn closed_stochastic_diamond_matches_dense() {
+    // The fuzzer's closed-CFG shape in miniature: entry splits 50/50,
+    // both arms rejoin, and the exit feeds back into the entry with
+    // weight 1. Every out-weight sums to 1, so the system is a closed
+    // recurrent chain — singular, but with a non-negative damped
+    // solution on both paths.
+    let mut sys = FlowSystem::new(4);
+    sys.inject(0, 1.0);
+    sys.add_arc(0, 1, 0.5);
+    sys.add_arc(0, 2, 0.5);
+    sys.add_arc(1, 3, 1.0);
+    sys.add_arc(2, 3, 1.0);
+    sys.add_arc(3, 0, 1.0); // exit -> entry back edge closes the chain
+    let sparse = sys.solve().expect("sparse converges");
+    let dense = sys.solve_dense().expect("dense converges");
+    // The whole graph is one SCC of effective cycle weight 1: every
+    // node's frequency is ~1/(1 − d²)-scale, far above 1.
+    assert!(sparse[0] > 100.0, "entry: {}", sparse[0]);
+    // The two arms split the entry's flow evenly.
+    assert!((sparse[1] - sparse[2]).abs() < 1e-6 * sparse[1]);
+    assert_close(&sparse, &dense, DAMPED_TOL);
+}

@@ -210,7 +210,20 @@ impl Printer {
                 self.out.push_str("if (");
                 self.expr(cond, 0);
                 self.out.push_str(")\n");
-                self.nested(then_s);
+                // An else-less `if` at the tail of the then-branch
+                // would capture our `else` on reparse; brace the
+                // then-branch to keep the association.
+                if else_s.is_some() && dangles(then_s) {
+                    self.pad();
+                    self.out.push_str("{\n");
+                    self.indent += 1;
+                    self.stmt(then_s);
+                    self.indent -= 1;
+                    self.pad();
+                    self.out.push_str("}\n");
+                } else {
+                    self.nested(then_s);
+                }
                 if let Some(e) = else_s {
                     self.pad();
                     self.out.push_str("else\n");
@@ -248,9 +261,9 @@ impl Printer {
                                     self.out.push_str(", ");
                                 }
                                 self.type_name(&d.ty, &d.name);
-                                if let Some(Initializer::Expr(e)) = &d.init {
+                                if let Some(init) = &d.init {
                                     self.out.push_str(" = ");
-                                    self.expr(e, 0);
+                                    self.initializer(init);
                                 }
                             }
                             self.out.push_str("; ");
@@ -408,7 +421,22 @@ impl Printer {
                         UnOp::PostInc | UnOp::PostDec => unreachable!(),
                     };
                     self.out.push_str(sym);
-                    self.expr(inner, 14);
+                    // `-` before `-x`/`--x` would lex back as the
+                    // single `--` token (and `&` before `&x` as `&&`),
+                    // turning `-(-x)` into a pre-decrement of `-x`;
+                    // parenthesize to keep the tokens apart.
+                    let glues = matches!(
+                        (op, &inner.kind),
+                        (UnOp::Neg, ExprKind::Unary(UnOp::Neg | UnOp::PreDec, _))
+                            | (UnOp::Addr, ExprKind::Unary(UnOp::Addr, _))
+                    );
+                    if glues {
+                        self.out.push('(');
+                        self.expr(inner, 0);
+                        self.out.push(')');
+                    } else {
+                        self.expr(inner, 14);
+                    }
                 }
             },
             ExprKind::Binary(op, a, b) => {
@@ -492,6 +520,19 @@ impl Printer {
     }
 }
 
+/// Whether `s` ends (possibly through nested tail statements) in an
+/// `if` without an `else` that an outer `else` would bind to.
+fn dangles(s: &Stmt) -> bool {
+    match &s.kind {
+        StmtKind::If(_, _, None) => true,
+        StmtKind::If(_, _, Some(e)) => dangles(e),
+        StmtKind::While(_, body) | StmtKind::For(_, _, _, body) | StmtKind::Label(_, body) => {
+            dangles(body)
+        }
+        _ => false,
+    }
+}
+
 fn binop_str(op: BinOp) -> &'static str {
     match op {
         BinOp::Add => "+",
@@ -542,6 +583,7 @@ fn expr_precedence(e: &Expr) -> u8 {
 mod tests {
     use super::*;
     use crate::parser::parse;
+    use crate::token::Span;
 
     fn round_trip(src: &str) -> (String, String) {
         let unit1 = parse(src).expect("first parse");
@@ -621,6 +663,102 @@ mod tests {
             "#,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_negation_does_not_glue_into_decrement() {
+        // `-(-x)` must not print as `--x` (found by fuzzgen seed 27).
+        let (a, b) = round_trip("int f(int x) { return -(-x); }");
+        assert_eq!(a, b);
+        assert!(a.contains("-(-x)"), "{a}");
+        let m = crate::compile(&a).expect("reprinted form still compiles");
+        assert_eq!(m.functions.len(), 1);
+    }
+
+    #[test]
+    fn negated_predecrement_does_not_glue() {
+        // `-(--x)` must not print as `---x`, which re-lexes as
+        // `--(-x)` — a pre-decrement of a non-lvalue.
+        let (a, b) = round_trip("int f(int x) { return -(--x); }");
+        assert_eq!(a, b);
+        assert!(a.contains("-(--x)"), "{a}");
+        crate::compile(&a).expect("reprinted form still compiles");
+    }
+
+    #[test]
+    fn address_of_address_does_not_glue_into_logical_and() {
+        // Parse-level only (sema rejects `&&x` anyway): the printed
+        // form must keep the two `&` tokens apart.
+        let (a, b) = round_trip("int f(int x) { return &(&x); }");
+        assert_eq!(a, b);
+        assert!(a.contains("&(&x)"), "{a}");
+    }
+
+    #[test]
+    fn dangling_else_keeps_association() {
+        // A constructed AST where the outer `if` owns the `else` and
+        // the then-branch is an else-less `if`: printing without
+        // braces would rebind the `else` to the inner `if` on reparse.
+        let mut g = NodeIdGen::new();
+        let mut e = |kind: ExprKind| Expr {
+            id: g.fresh(),
+            span: Span::default(),
+            kind,
+        };
+        let ret = |p: &mut dyn FnMut(ExprKind) -> Expr, v: i64| Stmt {
+            id: NodeId(900 + v as u32),
+            span: Span::default(),
+            kind: StmtKind::Return(Some(p(ExprKind::IntLit(v)))),
+        };
+        let inner_if = Stmt {
+            id: NodeId(800),
+            span: Span::default(),
+            kind: StmtKind::If(
+                e(ExprKind::Ident("b".to_string())),
+                Box::new(ret(&mut e, 1)),
+                None,
+            ),
+        };
+        let outer_if = Stmt {
+            id: NodeId(801),
+            span: Span::default(),
+            kind: StmtKind::If(
+                e(ExprKind::Ident("a".to_string())),
+                Box::new(inner_if),
+                Some(Box::new(ret(&mut e, 2))),
+            ),
+        };
+        let printed = print_stmt(&outer_if, 0);
+        // Reparse inside a function and verify the else still belongs
+        // to the outer if.
+        let src = format!("int f(int a, int b) {{\n{printed}return 0;\n}}");
+        let unit = parse(&src).expect("printed dangling-else candidate parses");
+        let reprinted = print_unit(&unit);
+        let occurrences = reprinted.matches("else").count();
+        assert_eq!(occurrences, 1, "{reprinted}");
+        // The outer if must keep its else: behaviorally, a=0 must hit
+        // `return 2`, not fall through to `return 0`.
+        let module = crate::compile(&src).expect("dangling-else source compiles");
+        assert_eq!(module.functions.len(), 1);
+        let unit2 = parse(&reprinted).expect("reprint parses");
+        assert_eq!(reprinted, print_unit(&unit2));
+        assert!(
+            reprinted.contains('{'),
+            "then-branch must be braced: {reprinted}"
+        );
+    }
+
+    #[test]
+    fn for_init_declaration_with_list_initializer_round_trips() {
+        let src = "int f(void) { int s = 0; for (int a[2] = { 1, 2 }; a[0] < 9; a[0]++) s += a[1]; return s; }";
+        if parse(src).is_err() {
+            // The grammar may not allow declarations in for-inits at
+            // all; nothing to print then.
+            return;
+        }
+        let (a, b) = round_trip(src);
+        assert_eq!(a, b);
+        assert!(a.contains("{ 1, 2 }"), "list initializer dropped: {a}");
     }
 
     #[test]

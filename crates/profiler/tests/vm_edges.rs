@@ -95,6 +95,33 @@ fn goto_backwards_builds_a_loop_with_counted_edges() {
 }
 
 #[test]
+fn goto_into_for_loop_skips_init_and_first_test() {
+    // Entering a `for` body by label bypasses both the init and the
+    // first condition test; the step/test machinery must take over from
+    // the back edge onward. Found worth pinning by fuzzing: the
+    // generator's goto-into-loop shape exercises exactly this layout.
+    let out = run_ok(
+        r#"
+        int main(void) {
+            int i = 5, sum = 0;
+            goto body;
+            for (i = 0; i < 8; i++) {
+        body:
+                sum = sum * 10 + i;
+            }
+            return sum % 251;
+        }
+        "#,
+    );
+    // Entered at i=5: visits 5, 6, 7 -> sum 567.
+    assert_eq!(out.exit_code, 567 % 251);
+    // The loop ran three bodies but only three step->test traversals;
+    // no block executed more than four times (test runs 5,6,7,8).
+    let max = out.profile.block_counts[0].iter().max().copied().unwrap();
+    assert!(max <= 4, "unexpected hot block: {max}");
+}
+
+#[test]
 fn switch_fallthrough_chains_execute_in_order() {
     let out = run_ok(
         r#"
@@ -115,6 +142,34 @@ fn switch_fallthrough_chains_execute_in_order() {
         "#,
     );
     assert_eq!(out.stdout(), "122344\n");
+}
+
+#[test]
+fn switch_falls_through_into_a_middle_default() {
+    // The default section sits between two cases: case 0 falls through
+    // *into* it, and the default itself falls through into case 9. Both
+    // the jump routing (unmatched values land mid-switch) and the
+    // sequential fallthrough order must hold.
+    let out = run_ok(
+        r#"
+        int classify(int v) {
+            int trace = 0;
+            switch (v) {
+                case 0: trace = trace * 10 + 1; /* fall through */
+                default: trace = trace * 10 + 2; /* fall through */
+                case 9: trace = trace * 10 + 3; break;
+                case 5: trace = trace * 10 + 4;
+            }
+            return trace;
+        }
+        int main(void) {
+            /* 0 -> 123, 4 -> 23, 9 -> 3, 5 -> 4 */
+            printf("%d %d %d %d\n", classify(0), classify(4), classify(9), classify(5));
+            return 0;
+        }
+        "#,
+    );
+    assert_eq!(out.stdout(), "123 23 3 4\n");
 }
 
 #[test]
@@ -229,6 +284,36 @@ fn function_pointer_call_behind_short_circuit_guard() {
     );
     // Guard passes for n in 3..8 (5 calls); odd among them: 3, 5, 7.
     assert_eq!(out.stdout(), "3 5\n");
+}
+
+#[test]
+fn mutual_recursion_through_function_pointers() {
+    // even/odd recursion where every recursive call goes through a
+    // function pointer: each leg is an *indirect* call site, so the
+    // profiler must attribute invocations without any direct call-graph
+    // edge between the two functions.
+    let out = run_ok(
+        r#"
+        int is_odd(int n);
+        int (*podd)(int);
+        int (*peven)(int);
+        int is_even(int n) { if (n == 0) return 1; return podd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return peven(n - 1); }
+        int main(void) {
+            podd = is_odd;
+            peven = is_even;
+            printf("%d %d\n", peven(10), podd(7));
+            return 0;
+        }
+        "#,
+    );
+    assert_eq!(out.stdout(), "1 1\n");
+    // peven(10): even 6x, odd 5x. podd(7): odd 4x, even 4x.
+    let total: u64 = out.profile.func_counts.iter().sum();
+    assert_eq!(total, 1 + 10 + 9); // main + is_even 10 + is_odd 9
+                                   // Every non-main invocation flowed through an indirect site.
+    let sites: u64 = out.profile.call_site_counts.iter().sum();
+    assert!(sites >= 19 - 2, "call sites undercounted: {sites}");
 }
 
 #[test]

@@ -1,0 +1,30 @@
+/* fuzzgen counterexample: seed 27, oracle round-trip.
+* pretty output fails sema: semantic error: line 27: increment of non-lvalue
+* Regenerate with: fuzzgen --seed 27 --count 1 --minimize
+*/
+int rfuel = 1;
+int g0 = 2;
+int g1 = -3;
+int g2 = 13;
+int ga[8] = {9, 2, 8, 6, 8, 8, 5, 1};
+
+int f0(int p0, int p1);
+
+int f0(int p0, int p1) {
+    int v0 = 23;
+    int v1 = 13;
+    int v2 = 23;
+    int t0 = 0;
+    if (rfuel-- <= 0) return p0 & 255;
+    return (v0 + p0) & 255;
+}
+
+int main(void) {
+    int v0 = 13;
+    int v1 = -3;
+    int v2 = -7;
+    v0 = g0 = -(-(5 << (g0 & 7)));
+    printf("end %d %d %d\n", (g0 + g1 + g2) & 255, v0 & 255, ga[3] & 255);
+    return (v0 + v1 + g0) & 255;
+}
+

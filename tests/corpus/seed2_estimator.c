@@ -1,0 +1,97 @@
+/* fuzzgen counterexample: seed 2, oracle estimator.
+* inter markov f1: non-deterministic 4.000000000000001 vs 4.000000000000002
+* Regenerate with: fuzzgen --seed 2 --count 1 --minimize
+*/
+struct S { int x; int y; };
+
+int rfuel = 1;
+int g0 = 1;
+int g1 = 13;
+int g2 = 5;
+int ga[8] = {7, 2, 5, 5, 8, 9, 1, 3};
+struct S gs;
+
+int f0(int p0, int p1);
+int f1(int p0, int p1);
+int f2(int p0, int p1);
+int f3(int p0, int p1);
+int (*gfp)(int, int);
+
+int f0(int p0, int p1) {
+    int v0 = 15;
+    int v1 = 2;
+    int v2 = 8;
+    int t0 = 0;
+    int la[8] = {-5, -2, 1, 4, 7, 10, 13, 16};
+    struct S st;
+    struct S *sp = &gs;
+    int *pp = &g0;
+    if (rfuel-- <= 0) return p0 & 255;
+    st.x = v0;
+    st.y = 2;
+    v0 = (la[7] % (v0 | 1) & (*pp | sp->y)) + g2 * f1(st.y, *pp);
+    la[4] = gfp(gs.y ^ v2 || v0 || 79 / (14 | 1) - (st.x + v1), ++v1 * (v2 | 88) ? v2 % (*pp | 1) * g1 : (-5) % (ga[1] * ga[1] | 1));
+    return (v0 + p0) & 255;
+}
+
+int f1(int p0, int p1) {
+    int v0 = 25;
+    int v1 = -1;
+    int v2 = 13;
+    int v3 = 7;
+    int v4 = 26;
+    int t0 = 0;
+    struct S st;
+    struct S *sp = &gs;
+    int *pp = &g0;
+    if (rfuel-- <= 0) return p0 & 255;
+    st.x = v0;
+    st.y = 2;
+    v0 = (gs.y && *pp) / (79 & p0 | 1) ^ gfp(*pp - g1, g0) ? p0 || f2(g0, g0) ^ (40 ^ st.x) : (*pp = gs.y, *pp || 55) >> (*pp <= ga[p1 & 7] & 7);
+    return (v0 + p0) & 255;
+}
+
+int f2(int p0, int p1) {
+    int v0 = -3;
+    int v1 = -9;
+    int v2 = -5;
+    int t0 = 0;
+    int *pp = &g0;
+    if (rfuel-- <= 0) return p0 & 255;
+    return (v0 + p0) & 255;
+}
+
+int f3(int p0, int p1) {
+    int v0 = 30;
+    int v1 = 24;
+    int v2 = -7;
+    int v3 = 7;
+    struct S st;
+    struct S *sp = &gs;
+    int *pp = &g0;
+    if (rfuel-- <= 0) return p0 & 255;
+    st.x = v0;
+    st.y = 2;
+    switch ((f1(g2, 84)) & 3) {
+    case 0:
+    case 3:
+        break;
+    }
+    return (v0 + p0) & 255;
+}
+
+int main(void) {
+    int v0 = 3;
+    int v1 = 27;
+    int v2 = -2;
+    int v3 = 10;
+    int v4 = 30;
+    int t0 = 0;
+    char c0 = 'k';
+    int *pp = &g0;
+    gfp = f1;
+    ga[1] = c0 - (f3(49, g2) * ga[1] ^ c0 - 70);
+    printf("end %d %d %d\n", (g0 + g1 + g2) & 255, v0 & 255, ga[3] & 255);
+    return (v0 + v1 + g0) & 255;
+}
+

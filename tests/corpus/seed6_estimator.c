@@ -1,0 +1,67 @@
+/* fuzzgen counterexample: seed 6, oracle estimator.
+* intra Markov f2 block 7: non-deterministic 3.2000000000000006 vs 3.200000000000001
+* Regenerate with: fuzzgen --seed 6 --count 1 --minimize
+*/
+int rfuel = 1;
+int g0 = -9;
+int g1 = 15;
+int g2 = -6;
+int ga[8] = {7, 3, 2, 1, -1, 9, 8, -4};
+
+int f0(int p0, int p1);
+int f1(int p0, int p1);
+int f2(int p0, int p1);
+
+int f0(int p0, int p1) {
+    int v0 = 16;
+    int v1 = -8;
+    int v2 = 4;
+    int t0 = 0;
+    float w0 = 1.5;
+    if (rfuel-- <= 0) return p0 & 255;
+    return (v0 + p0) & 255;
+}
+
+int f1(int p0, int p1) {
+    int v0 = 14;
+    int v1 = 24;
+    int v2 = 0;
+    int v3 = 5;
+    int v4 = 18;
+    float w0 = 1.5;
+    if (rfuel-- <= 0) return p0 & 255;
+    return (v0 + p0) & 255;
+}
+
+int f2(int p0, int p1) {
+    int v0 = 5;
+    int v1 = 5;
+    int v2 = 18;
+    int t0 = 0, t1 = 0, t2 = 0;
+    if (rfuel-- <= 0) return p0 & 255;
+    if (t0++ < 1) goto lab0;
+    while (t1++ < 5 && (1)) {
+        switch ((1) & 3) {
+        case 1:
+            f0(f1(p1, p1) && (21, 52) && v0 + g0 | ga[0] << (g0 & 7), 93 << (f1(g1, v1) & 7) ^ ga[91 & 7] - (g0 + v2));
+        case 2:
+        case 0:
+            ga[3] = ga[0] = (v1 = f2(v1, v2)) || (ga[6], v1) % (v1 | 1);
+            break;
+        }
+lab0: ;
+    }
+    return (v0 + p0) & 255;
+}
+
+int main(void) {
+    int v0 = 22;
+    int v1 = -9;
+    int v2 = 20;
+    int v3 = 28;
+    int t0 = 0;
+    float w0 = 1.5;
+    printf("end %d %d %d\n", (g0 + g1 + g2) & 255, v0 & 255, ga[3] & 255);
+    return (v0 + v1 + g0) & 255;
+}
+

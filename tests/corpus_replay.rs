@@ -1,0 +1,37 @@
+//! Replays every checked-in fuzzer counterexample.
+//!
+//! Each file in `tests/corpus/` is a minimized program that once made
+//! one of the five differential oracles fire (its header comment names
+//! the seed and the oracle). The bugs are fixed, so every file must now
+//! pass `check_source` cleanly — a regression here means one of the
+//! fixed bugs is back.
+
+use fuzzgen::{check_source, CheckConfig};
+
+#[test]
+fn every_corpus_counterexample_passes_all_oracles() {
+    let corpus = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus)
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "c"))
+        .collect();
+    entries.sort();
+    let config = CheckConfig::default();
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("readable corpus file");
+        if let Err(failure) = check_source(&src, &config) {
+            panic!(
+                "{} regressed: oracle {} fired again:\n{}",
+                path.display(),
+                failure.kind,
+                failure.detail
+            );
+        }
+        replayed += 1;
+    }
+    // Guard against the directory silently going missing or empty: the
+    // corpus must cover at least the three original bug classes.
+    assert!(replayed >= 3, "only {replayed} corpus files replayed");
+}

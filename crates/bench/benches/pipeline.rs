@@ -1,0 +1,105 @@
+//! Traced end-to-end pipeline: loads and scores the whole suite with
+//! telemetry enabled, then appends the per-stage times and counters to
+//! `BENCH_pipeline.json` at the repository root. Run with
+//! `cargo bench -p bench --bench pipeline`.
+//!
+//! Like `interp_throughput`, the trajectory file is a JSON array with
+//! one entry per run, committed by CI's quick-bench step. The traced
+//! run is one-shot (the registry aggregates a single pass), so there
+//! is no quick/full mode split.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estimators::eval;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Inclusive milliseconds attributed to `stage`, summed over every
+/// span path ending in it (a stage can appear under several parents —
+/// `linsolve.solve` runs under both estimator passes).
+fn stage_ms(m: &obs::Metrics, stage: &str) -> f64 {
+    m.spans
+        .iter()
+        .filter(|(path, _)| path.rsplit('/').next() == Some(stage))
+        .map(|(_, s)| s.total_ns)
+        .sum::<u64>() as f64
+        / 1e6
+}
+
+fn counter(m: &obs::Metrics, name: &str) -> u64 {
+    m.counters.get(name).copied().unwrap_or(0)
+}
+
+fn record_trajectory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    let mut recorded = false;
+    group.bench_function("record_json", |b| {
+        b.iter(|| {
+            if !recorded {
+                recorded = true;
+                write_trajectory();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn write_trajectory() {
+    obs::reset();
+    obs::set_enabled(true);
+    let wall = Instant::now();
+    let data = bench::load_suite();
+    for d in &data {
+        black_box(eval::score_program(&d.program, &d.profiles));
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    obs::set_enabled(false);
+    let m = obs::snapshot();
+    obs::reset();
+
+    // Per-program span times overlap across the parallel `load_suite`
+    // threads, so the stage columns are CPU-time aggregates; `wall_ms`
+    // is the only wall-clock figure.
+    let hits = counter(&m, "profiler.cache.hits");
+    let misses = counter(&m, "profiler.cache.misses");
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let entry = format!(
+        "{{\"wall_ms\": {wall_ms:.1}, \
+          \"minic_compile_ms\": {:.1}, \"flowgraph_build_ms\": {:.1}, \
+          \"linsolve_solve_ms\": {:.1}, \"profiler_execute_ms\": {:.1}, \
+          \"estimate_ms\": {:.1}, \"metric_weight_match_ms\": {:.1}, \
+          \"programs\": {}, \"linsolve_solves\": {}, \
+          \"linsolve_damped_fallback\": {}, \"profiler_steps\": {}, \
+          \"profiler_cache_hit_rate\": {hit_rate:.3}, \
+          \"metric_weight_matches\": {}}}",
+        stage_ms(&m, "minic.compile"),
+        stage_ms(&m, "flowgraph.build"),
+        stage_ms(&m, "linsolve.solve"),
+        stage_ms(&m, "profiler.execute"),
+        stage_ms(&m, "estimate.intra") + stage_ms(&m, "estimate.inter"),
+        stage_ms(&m, "metric.weight_match"),
+        counter(&m, "bench.programs"),
+        counter(&m, "linsolve.solves"),
+        counter(&m, "linsolve.scc.damped_fallback"),
+        counter(&m, "profiler.steps"),
+        counter(&m, "metric.weight_matches"),
+    );
+    println!("pipeline/record_json: {entry}");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let prior = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = prior.trim().trim_end_matches(']').trim_end_matches('\n');
+    let body = if trimmed.is_empty() || trimmed == "[" {
+        format!("[\n  {entry}\n]\n")
+    } else {
+        format!("{},\n  {entry}\n]\n", trimmed.trim_end_matches(','))
+    };
+    std::fs::write(path, body).expect("writing BENCH_pipeline.json");
+}
+
+criterion_group!(benches, record_trajectory);
+criterion_main!(benches);

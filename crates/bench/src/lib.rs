@@ -35,12 +35,15 @@ pub struct ProgramData {
 /// Panics if the program fails to compile or run — suite programs are
 /// expected to be well-formed.
 pub fn load_program(bench: BenchProgram) -> ProgramData {
+    let _sp = obs::span("bench.load_program");
     let program = bench
         .compile()
         .unwrap_or_else(|e| panic!("{}: {}", bench.name, e.render(bench.source)));
     let profiles = bench
         .profiles(&program)
         .unwrap_or_else(|e| panic!("{}: runtime error: {e}", bench.name));
+    obs::counter_add("bench.programs", 1);
+    obs::counter_add("bench.profiles", profiles.len() as u64);
     ProgramData {
         bench,
         program,
@@ -56,6 +59,10 @@ pub fn load_program(bench: BenchProgram) -> ProgramData {
 /// multi-core machine this makes suite loading bound by the slowest
 /// single program instead of the sum of all fourteen.
 pub fn load_suite() -> Vec<ProgramData> {
+    // Worker threads carry their own span stacks, so the per-program
+    // spans show up as `bench.load_program` roots whose times overlap;
+    // this span is the wall-clock envelope of the whole fan-out.
+    let _sp = obs::span("bench.load_suite");
     let benches = suite::all();
     let mut results: Vec<Option<ProgramData>> = Vec::new();
     results.resize_with(benches.len(), || None);
@@ -328,12 +335,7 @@ pub fn fig10() -> Fig10 {
     let funcs = program.defined_ids();
     let rank = |score: &dyn Fn(FuncId) -> f64| -> Vec<FuncId> {
         let mut order = funcs.clone();
-        order.sort_by(|&a, &b| {
-            score(b)
-                .partial_cmp(&score(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| score(b).total_cmp(&score(a)).then(a.cmp(&b)));
         order
     };
 
@@ -547,7 +549,7 @@ mod tests {
         assert!((t.score_60 - 7.0 / 8.0).abs() < 1e-9, "{t:?}");
         // Actual totals: while 3, if 3, return1 2, incr 1, return2 0.
         let mut actual: Vec<f64> = t.rows.iter().map(|r| r.0).collect();
-        actual.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        actual.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(actual, vec![0.0, 1.0, 2.0, 3.0, 3.0]);
     }
 

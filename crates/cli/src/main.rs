@@ -12,7 +12,15 @@
 //! sfe callsites prog.c            # ranked call sites (inlining candidates)
 //! sfe dot       prog.c [func]     # Graphviz CFG (or call graph)
 //! sfe run       prog.c [input]    # run, then compare estimate vs. profile
+//! sfe suite                       # full pipeline over the 14-program suite
 //! sfe pretty    prog.c            # parse + pretty-print
+//! ```
+//!
+//! Global flags (any command):
+//!
+//! ```text
+//! --trace               print the aggregated span tree + counters to stderr
+//! --metrics-out <path>  write schema-stable metrics JSON (obs-metrics/v1)
 //! ```
 
 #![warn(missing_docs)]
@@ -22,9 +30,55 @@ use flowgraph::Program;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Pull the global telemetry flags out first; everything left is
+    // the positional `<command> <file> [arg]` form.
+    let mut trace = false;
+    let mut metrics_out: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--trace" => trace = true,
+            "--metrics-out" => match raw.next() {
+                Some(p) => metrics_out = Some(p),
+                None => {
+                    eprintln!("sfe: --metrics-out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => args.push(a),
+        }
+    }
+    if trace || metrics_out.is_some() {
+        obs::set_enabled(true);
+    }
+    let code = dispatch(&args);
+    // Spans all closed by now (dispatch returned); flush telemetry.
+    if trace || metrics_out.is_some() {
+        obs::set_enabled(false);
+        let metrics = obs::snapshot();
+        if trace {
+            eprint!("{}", metrics.render_trace());
+        }
+        if let Some(path) = metrics_out {
+            if let Err(e) = std::fs::write(&path, metrics.to_json()) {
+                eprintln!("sfe: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    code
+}
+
+fn dispatch(args: &[String]) -> ExitCode {
+    if args.first().map(String::as_str) == Some("suite") {
+        return suite_report();
+    }
     if args.len() < 2 {
-        eprintln!("usage: sfe <report|blocks|branches|callsites|dot|run|pretty> <file.c> [arg]");
+        eprintln!(
+            "usage: sfe [--trace] [--metrics-out <path>] \
+             <report|blocks|branches|callsites|dot|run|suite|pretty> [file.c] [arg]"
+        );
         return ExitCode::from(2);
     }
     let command = args[0].as_str();
@@ -83,7 +137,9 @@ fn report(program: &Program) -> ExitCode {
 
     println!("== estimated function invocation counts (Markov call-graph model) ==");
     let mut funcs = program.defined_ids();
-    funcs.sort_by(|&a, &b| ie.of(b).partial_cmp(&ie.of(a)).unwrap());
+    // total_cmp: a NaN estimate (damped fallback on a singular call
+    // graph) must rank deterministically, not abort the report.
+    funcs.sort_by(|&a, &b| ie.of(b).total_cmp(&ie.of(a)));
     for f in &funcs {
         let func = program.module.function(*f);
         println!(
@@ -96,7 +152,7 @@ fn report(program: &Program) -> ExitCode {
 
     println!("\n== hottest call sites (invocation × local frequency) ==");
     let mut sites = callsite::estimate_sites(program, &ia, &ie);
-    sites.sort_by(|a, b| b.freq.partial_cmp(&a.freq).unwrap());
+    sites.sort_by(|a, b| b.freq.total_cmp(&a.freq));
     for s in sites.iter().take(10) {
         let cs = &program.module.side.call_sites[s.site.0 as usize];
         let caller = &program.module.function(cs.caller).name;
@@ -177,7 +233,7 @@ fn callsites(program: &Program, src: &str) -> ExitCode {
     let ia = intra::estimate_program(program, intra::IntraEstimator::Smart);
     let ie = inter::estimate_invocations(program, &ia, inter::InterEstimator::Markov);
     let mut sites = callsite::estimate_sites(program, &ia, &ie);
-    sites.sort_by(|a, b| b.freq.partial_cmp(&a.freq).unwrap());
+    sites.sort_by(|a, b| b.freq.total_cmp(&a.freq));
     println!("{:>12} {:>6}  call", "est.freq", "line");
     for s in &sites {
         let cs = &program.module.side.call_sites[s.site.0 as usize];
@@ -257,6 +313,35 @@ fn run(program: &Program, input_path: Option<&str>) -> ExitCode {
             est[i],
             actual[i],
             program.module.function(f).name
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the entire pipeline over the 14-program suite: compile, lower,
+/// profile every standard input, estimate, and weight-match — the
+/// full-system traced run `--trace`/`--metrics-out` are built for.
+fn suite_report() -> ExitCode {
+    let data = bench::load_suite();
+    println!(
+        "{:<12} {:>8} {:>8} {:>12}  {:>6} {:>6}",
+        "program", "funcs", "blocks", "steps", "inv@25", "cs@25"
+    );
+    for d in &data {
+        let scores = estimators::eval::score_program(&d.program, &d.profiles);
+        let steps: u64 = d
+            .profiles
+            .iter()
+            .map(|p| p.func_cost.iter().sum::<u64>())
+            .sum();
+        println!(
+            "{:<12} {:>8} {:>8} {:>12}  {:>5.0}% {:>5.0}%",
+            d.bench.name,
+            d.program.defined_ids().len(),
+            d.program.total_blocks(),
+            steps,
+            scores.invocation_markov_25[1] * 100.0,
+            scores.callsites[1] * 100.0,
         );
     }
     ExitCode::SUCCESS

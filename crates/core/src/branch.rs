@@ -208,6 +208,7 @@ pub fn predict_module_with(
     module: &Module,
     config: &PredictorConfig,
 ) -> HashMap<BranchId, Prediction> {
+    let _sp = obs::span("estimate.branch");
     let mut out = HashMap::new();
     let error_fns = error_functions(module);
     for func in module.defined_functions() {
@@ -816,7 +817,7 @@ mod tests {
         };
         let preds = predict_module_with(&module, &config);
         let mut probs: Vec<f64> = preds.values().map(|p| p.prob_taken).collect();
-        probs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        probs.sort_by(|a, b| a.total_cmp(b));
         probs.dedup();
         assert!(
             probs.len() >= 2,

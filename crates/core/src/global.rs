@@ -175,7 +175,7 @@ mod tests {
     fn hot_inner_block_tops_the_global_ranking() {
         let (program, ia, ie, _) = setup(SRC);
         let mut blocks = global_blocks(&program, &ia, &ie);
-        blocks.sort_by(|a, b| b.freq.partial_cmp(&a.freq).unwrap());
+        blocks.sort_by(|a, b| b.freq.total_cmp(&a.freq));
         let top_fn = blocks[0].func;
         assert_eq!(
             program.module.function(top_fn).name,

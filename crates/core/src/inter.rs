@@ -119,6 +119,7 @@ pub fn estimate_invocations(
     intra: &IntraEstimates,
     which: InterEstimator,
 ) -> InterEstimates {
+    let _sp = obs::span("estimate.inter");
     let func_freqs = match which {
         InterEstimator::CallSite => simple(program, intra, Recursion::None, false),
         InterEstimator::Direct => simple(program, intra, Recursion::DirectOnly, false),

@@ -101,6 +101,7 @@ pub fn estimate_program_with(
     which: IntraEstimator,
     options: &IntraOptions,
 ) -> IntraEstimates {
+    let _sp = obs::span("estimate.intra");
     let predictions = predict_module_with(&program.module, &options.predictor);
     let trips = if options.trip_counts {
         crate::tripcount::trip_counts(&program.module)
@@ -481,7 +482,7 @@ mod tests {
     /// Block estimate lookup by anchor-ish position: we identify blocks
     /// by their profiled role instead, via sorted values.
     fn sorted(mut v: Vec<f64>) -> Vec<f64> {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.total_cmp(b));
         v
     }
 

@@ -19,14 +19,22 @@
 /// The weight captured by the top-`m` slots when entities are ranked by
 /// `key` (descending) and each contributes its `value`. Ties in `key`
 /// share slots proportionally.
+///
+/// A "tie" is *exact* key equality. An absolute epsilon is wrong at
+/// both ends of the scale the VM's step counters produce: around 1e3
+/// one ULP (≈1.1e-13) is inside any epsilon that still behaves exactly
+/// at 1e12 (one ULP ≈1.2e-4), so the grouping — and with it the
+/// cut-off — would depend on the magnitude of the counts rather than
+/// on which ranks genuinely coincide. Keys are counts or products of
+/// estimated frequencies; distinct ranks either collide bit-for-bit
+/// (shared slots) or they do not (a real order the metric must
+/// respect).
 fn quantile_mass(keys: &[f64], values: &[f64], m: f64) -> f64 {
     debug_assert_eq!(keys.len(), values.len());
     let mut order: Vec<usize> = (0..keys.len()).collect();
-    order.sort_by(|&a, &b| {
-        keys[b]
-            .partial_cmp(&keys[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // `total_cmp` orders NaNs (above +inf after the reversal) instead
+    // of collapsing every NaN comparison into a spurious "tie".
+    order.sort_by(|&a, &b| keys[b].total_cmp(&keys[a]));
 
     let mut remaining = m;
     let mut mass = 0.0;
@@ -36,7 +44,12 @@ fn quantile_mass(keys: &[f64], values: &[f64], m: f64) -> f64 {
         let k = keys[order[i]];
         let mut j = i;
         let mut group_value = 0.0;
-        while j < order.len() && (keys[order[j]] - k).abs() < 1e-12 {
+        // `==` so +0.0 and -0.0 still tie; NaNs (adjacent after the
+        // total_cmp sort) group with each other.
+        while j < order.len() && {
+            let kj = keys[order[j]];
+            kj == k || (kj.is_nan() && k.is_nan())
+        } {
             group_value += values[order[j]];
             j += 1;
         }
@@ -92,6 +105,8 @@ pub fn weight_matching(estimate: &[f64], actual: &[f64], cutoff: f64) -> f64 {
     if estimate.is_empty() {
         return 1.0;
     }
+    let _sp = obs::span("metric.weight_match");
+    obs::counter_add("metric.weight_matches", 1);
     let m = cutoff * estimate.len() as f64;
     let denom = quantile_mass(actual, actual, m);
     if denom <= 0.0 {
@@ -186,5 +201,48 @@ mod tests {
         let est = [0.0, 1.0, 2.0];
         let actual = [5.0, 0.0, 2.0];
         assert_eq!(weight_matching(&est, &actual, 1.0), 1.0);
+    }
+
+    #[test]
+    fn large_magnitude_ties_still_group() {
+        // VM step counters easily reach 1e12, where one ULP is ≈1.2e-4
+        // — far beyond the old absolute 1e-12 epsilon, which therefore
+        // never grouped anything at that scale. Bit-identical keys
+        // must still share the cut-off slot there.
+        let actual = [1.0e12, 1.0e12, 1.0e12, 1.0e12];
+        let values = [8.0, 0.0, 0.0, 0.0];
+        // m = 1 slot over a 4-way tie: each tied entity gets 1/4.
+        let mass = super::quantile_mass(&actual, &values, 1.0);
+        assert!((mass - 2.0).abs() < 1e-9, "got {mass}");
+    }
+
+    #[test]
+    fn grouping_is_scale_invariant() {
+        // Two keys one ULP apart near 1e3 are *distinct ranks*: the
+        // old epsilon fused them (1 ULP ≈ 1.1e-13 < 1e-12) while the
+        // same data scaled by 1e9 stayed distinct — so the score
+        // changed under a uniform rescale of the keys. Exact grouping
+        // treats both scales identically.
+        let lo = 1000.0f64;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        let values = [0.0, 8.0];
+        for scale in [1.0, 1.0e9] {
+            let keys = [hi * scale, lo * scale];
+            let mass = super::quantile_mass(&keys, &values, 1.0);
+            assert_eq!(mass, 0.0, "top slot is the hi key alone (×{scale})");
+        }
+    }
+
+    #[test]
+    fn nan_keys_do_not_panic_or_absorb_mass() {
+        // A NaN frequency (singular-component fallback) must not make
+        // the sort panic or nondeterministically swallow the quantile.
+        let est = [f64::NAN, 5.0, 1.0];
+        let actual = [0.0, 9.0, 1.0];
+        let s = weight_matching(&est, &actual, 1.0 / 3.0);
+        assert!(s.is_finite());
+        // NaN sorts above every real key under total_cmp, so the one
+        // slot goes to the NaN-ranked entity (actual weight 0).
+        assert_eq!(s, 0.0);
     }
 }

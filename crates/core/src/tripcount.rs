@@ -172,7 +172,7 @@ mod tests {
     fn trips(src: &str) -> Vec<f64> {
         let module = minic::compile(src).expect("compiles");
         let mut v: Vec<f64> = trip_counts(&module).values().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.total_cmp(b));
         v
     }
 

@@ -11,6 +11,9 @@ use minic::sema::{BranchId, FuncId, LocalId, SwitchId};
 use minic::types::Type;
 
 /// Identifies a basic block within one function's CFG.
+// The derived `partial_cmp` delegates to `Ord` on a `u32` — total, so
+// exempt from the workspace NaN-ordering ban (clippy.toml).
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BlockId(pub u32);
 

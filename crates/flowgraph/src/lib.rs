@@ -86,17 +86,26 @@ impl Program {
 
 /// Lowers every defined function of `module` and builds the call graph.
 pub fn build_program(module: &Module) -> Program {
-    let cfgs: Vec<Option<Cfg>> = module
-        .functions
-        .iter()
-        .map(|f| f.body.as_ref().map(|_| lower::lower_function(module, f)))
-        .collect();
+    let _sp = obs::span("flowgraph.build");
+    let cfgs: Vec<Option<Cfg>> = {
+        let _sp = obs::span("flowgraph.lower");
+        module
+            .functions
+            .iter()
+            .map(|f| f.body.as_ref().map(|_| lower::lower_function(module, f)))
+            .collect()
+    };
     let mut program = Program {
         module: module.clone(),
         cfgs,
         callgraph: CallGraph::default(),
     };
-    program.callgraph = CallGraph::build(&program);
+    {
+        let _sp = obs::span("flowgraph.callgraph");
+        program.callgraph = CallGraph::build(&program);
+    }
+    obs::counter_add("flowgraph.functions", program.defined_ids().len() as u64);
+    obs::counter_add("flowgraph.blocks", program.total_blocks() as u64);
     program
 }
 

@@ -15,6 +15,7 @@ use crate::cfg::{Block, BlockId, Cfg, Terminator};
 
 /// Simplifies `cfg`, preserving semantics and anchors.
 pub fn simplify(mut cfg: Cfg) -> Cfg {
+    let _sp = obs::span("flowgraph.simplify");
     loop {
         let before = cfg.blocks.len();
         thread_jumps(&mut cfg);

@@ -183,6 +183,12 @@ pub fn solve_sparse(
     if n == 0 {
         return Ok(Vec::new());
     }
+    let _sp = obs::span("linsolve.solve");
+    // Telemetry accumulates in locals and is recorded once on exit, so
+    // the per-component loop takes no locks even while tracing.
+    let mut stat_trivial = 0u64;
+    let mut stat_dense = 0u64;
+    let mut stat_damped = 0u64;
     let incoming = Csr::from_arcs(n, arcs)?;
 
     // Outgoing adjacency for the condensation (weights irrelevant).
@@ -233,6 +239,7 @@ pub fn solve_sparse(
                     x[v] = b / (1.0 - DAMPING * self_w);
                 }
             }
+            stat_trivial += 1;
             continue;
         }
 
@@ -254,8 +261,10 @@ pub fn solve_sparse(
                 }
             }
         }
+        let _scc = obs::span("linsolve.scc");
         match m.solve(&b) {
             Ok(local) => {
+                stat_dense += 1;
                 for (i, &v) in comp.iter().enumerate() {
                     x[v] = local[i];
                 }
@@ -263,6 +272,7 @@ pub fn solve_sparse(
             Err(_) => {
                 // Singular component (e.g. a cycle that can never
                 // exit): damped fixed point confined to the SCC.
+                stat_damped += 1;
                 let local =
                     solve_damped_component(comp, &local_index, ci, &comp_of, &incoming, &b)?;
                 for (i, &v) in comp.iter().enumerate() {
@@ -270,9 +280,16 @@ pub fn solve_sparse(
                 }
             }
         }
+        drop(_scc);
         for &v in comp {
             local_index[v] = u32::MAX;
         }
+    }
+    if obs::enabled() {
+        obs::counter_add("linsolve.solves", 1);
+        obs::counter_add("linsolve.scc.trivial", stat_trivial);
+        obs::counter_add("linsolve.scc.dense", stat_dense);
+        obs::counter_add("linsolve.scc.damped_fallback", stat_damped);
     }
     Ok(x)
 }
@@ -309,9 +326,11 @@ fn solve_damped_component(
             .fold(0.0, f64::max);
         std::mem::swap(&mut y, &mut next);
         if residual < TOLERANCE {
+            obs::gauge_max("linsolve.damped.residual.max", residual);
             return Ok(y);
         }
     }
+    obs::gauge_max("linsolve.damped.residual.max", residual);
     Err(FlowSolveError::DidNotConverge {
         iterations: MAX_ITERS,
         residual,

@@ -9,6 +9,9 @@ use crate::token::Span;
 use std::fmt;
 
 /// A unique id for an AST node within one translation unit.
+// The derived `partial_cmp` delegates to `Ord` on a `u32` — total, so
+// exempt from the workspace NaN-ordering ban (clippy.toml).
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 

@@ -51,7 +51,12 @@ pub use sema::Module;
 /// [`CompileError::render`] with the same source to get a message with
 /// a line number.
 pub fn compile(src: &str) -> Result<Module, CompileError> {
-    let unit = parser::parse(src)?;
+    let _sp = obs::span("minic.compile");
+    let unit = {
+        let _sp = obs::span("minic.parse");
+        parser::parse(src)?
+    };
+    let _sp = obs::span("minic.sema");
     sema::analyze(&unit)
 }
 

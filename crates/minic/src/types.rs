@@ -7,6 +7,9 @@
 use std::fmt;
 
 /// Identifies a struct definition within a module.
+// The derived `partial_cmp` delegates to `Ord` on a `u32` — total, so
+// exempt from the workspace NaN-ordering ban (clippy.toml).
+#[allow(clippy::disallowed_methods)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StructId(pub u32);
 
@@ -80,19 +83,29 @@ impl Type {
         }
     }
 
+    /// Size in words (cells), or `None` for `Void` (including `void`
+    /// reached through an array element type). Structs require the
+    /// layout table. This is the fallible query sema uses to turn
+    /// sizeless types into diagnostics instead of aborts.
+    pub fn try_size_words(&self, layouts: &StructLayouts) -> Option<usize> {
+        match self {
+            Type::Void => None,
+            Type::Int | Type::Char | Type::Float | Type::Ptr(_) | Type::FnPtr(_) => Some(1),
+            Type::Array(elem, n) => Some(elem.try_size_words(layouts)? * n),
+            Type::Struct(id) => Some(layouts.layout(*id).size),
+        }
+    }
+
     /// Size in words (cells). Structs require the layout table.
     ///
     /// # Panics
     ///
-    /// Panics if `self` is `Void` or a bare function signature-less type;
-    /// callers must size only object types.
+    /// Panics if `self` has no size (`Void`); callers must size only
+    /// object types — sema guarantees that for every type it admits
+    /// into a sized position (see [`Type::try_size_words`]).
     pub fn size_words(&self, layouts: &StructLayouts) -> usize {
-        match self {
-            Type::Void => panic!("void has no size"),
-            Type::Int | Type::Char | Type::Float | Type::Ptr(_) | Type::FnPtr(_) => 1,
-            Type::Array(elem, n) => elem.size_words(layouts) * n,
-            Type::Struct(id) => layouts.layout(*id).size,
-        }
+        self.try_size_words(layouts)
+            .unwrap_or_else(|| panic!("{self} has no size"))
     }
 }
 

@@ -538,7 +538,17 @@ impl CompiledProgram {
     ///
     /// Returns the same [`RuntimeError`]s the AST interpreter would.
     pub fn execute(&self, config: &RunConfig) -> Result<RunOutcome, RuntimeError> {
-        exec::execute(self, config)
+        // One span per run; the dispatch loop itself is never probed —
+        // step totals are read from the outcome after the fact.
+        let _sp = obs::span("profiler.execute");
+        let out = exec::execute(self, config);
+        if obs::enabled() {
+            obs::counter_add("profiler.runs", 1);
+            if let Ok(o) = &out {
+                obs::counter_add("profiler.steps", o.steps);
+            }
+        }
+        out
     }
 
     /// An all-zero profile shaped like this program's.
@@ -562,6 +572,7 @@ impl CompiledProgram {
 /// cached path). Compilation is a single linear pass per CFG; the
 /// suite compiles in well under a millisecond per program.
 pub fn compile(program: &Program) -> CompiledProgram {
+    let _sp = obs::span("profiler.compile");
     compile::compile(program)
 }
 
@@ -616,9 +627,11 @@ pub(crate) fn cached_compile(program: &Program) -> Arc<CompiledProgram> {
     let key = fingerprint(program);
     let map = cache().lock().expect("compile cache poisoned");
     if let Some(hit) = map.get(&key) {
+        obs::counter_add("profiler.cache.hits", 1);
         return Arc::clone(hit);
     }
     drop(map); // don't hold the lock across compilation
+    obs::counter_add("profiler.cache.misses", 1);
     let compiled = Arc::new(compile(program));
     let mut map = cache().lock().expect("compile cache poisoned");
     if map.len() >= CACHE_CAP {

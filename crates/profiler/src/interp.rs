@@ -1007,6 +1007,9 @@ impl<'p> Interp<'p> {
         if op.is_comparison() {
             let cmp = if matches!(va, Value::Float(_)) || matches!(vb, Value::Float(_)) {
                 let (x, y) = (va.to_float(), vb.to_float());
+                // IEEE comparison is the *specified* behaviour here (C
+                // source semantics), not an ordering bug — see clippy.toml.
+                #[allow(clippy::disallowed_methods)]
                 x.partial_cmp(&y)
             } else {
                 Some(va.to_int().cmp(&vb.to_int()))

@@ -81,6 +81,7 @@ impl BenchProgram {
     /// Propagates any [`RuntimeError`] — suite programs are expected
     /// to run cleanly on their standard inputs.
     pub fn run_all(&self, program: &Program) -> Result<Vec<RunOutcome>, RuntimeError> {
+        let _sp = obs::span("suite.run_all");
         let compiled = profiler::compile(program);
         let inputs = self.inputs();
         let mut results: Vec<Option<Result<RunOutcome, RuntimeError>>> = Vec::new();

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Top blocks across the whole program.
     let mut blocks = global_blocks(&program, &ia, &ie);
-    blocks.sort_by(|a, b| b.freq.partial_cmp(&a.freq).unwrap());
+    blocks.sort_by(|a, b| b.freq.total_cmp(&a.freq));
     println!("{name}: hottest basic blocks (static estimate)");
     for gb in blocks.iter().take(8) {
         println!(
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let next = arcs
             .iter()
             .filter(|a| a.func == hot_fn && a.from == cur)
-            .max_by(|a, b| a.freq.partial_cmp(&b.freq).unwrap());
+            .max_by(|a, b| a.freq.total_cmp(&b.freq));
         match next {
             Some(a) => cur = a.to,
             None => break,
@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ));
         }
     }
-    actual.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    actual.sort_by(|a, b| b.0.total_cmp(&a.0));
     println!("\nactually hottest blocks on input 1:");
     for (c, label) in actual.iter().take(8) {
         println!("  {c:>10.0}  {label}");

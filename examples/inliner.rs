@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ia = intra::estimate_program(&program, intra::IntraEstimator::Smart);
     let ie = inter::estimate_invocations(&program, &ia, inter::InterEstimator::Markov);
     let mut sites = callsite::estimate_sites(&program, &ia, &ie);
-    sites.sort_by(|a, b| b.freq.partial_cmp(&a.freq).unwrap());
+    sites.sort_by(|a, b| b.freq.total_cmp(&a.freq));
 
     let candidates = sites.len().div_ceil(4); // top quartile
     println!(

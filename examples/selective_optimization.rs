@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ia = intra::estimate_program(&program, intra::IntraEstimator::Smart);
     let ie = inter::estimate_invocations(&program, &ia, inter::InterEstimator::Markov);
     let mut order = program.defined_ids();
-    order.sort_by(|&a, &b| ie.of(b).partial_cmp(&ie.of(a)).unwrap());
+    order.sort_by(|&a, &b| ie.of(b).total_cmp(&ie.of(a)));
 
     println!("{name}: static hotness ranking");
     for (i, &f) in order.iter().enumerate() {

@@ -1,0 +1,15 @@
+/* fuzzgen counterexample: hand-reduced, oracle compile (diagnostic).
+* Adversarial input reaching `Type::size_words` on `void`: sizeof of a
+* dereferenced void pointer, plus an array-of-void declaration. Sema
+* used to abort the whole process with "void has no size"
+* (crates/minic/src/types.rs); it must instead reject the program with
+* a rendered semantic diagnostic. The `_diag_` filename marks this as
+* an invalid-program entry: the replay harness asserts a *clean
+* compile error* — no panic, no successful compile.
+*/
+int main(void) {
+    void *p;
+    void a[3];
+    int n = sizeof(*p) + sizeof(void);
+    return n;
+}

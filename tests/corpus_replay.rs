@@ -5,8 +5,14 @@
 //! the seed and the oracle). The bugs are fixed, so every file must now
 //! pass `check_source` cleanly — a regression here means one of the
 //! fixed bugs is back.
+//!
+//! Files whose name contains `_diag_` are the exception: they are
+//! *invalid* programs that once crashed the front end (process aborts
+//! instead of diagnostics). For those the contract is inverted — the
+//! whole pipeline must fail with a clean `compile` diagnostic, never a
+//! panic and never a successful compile.
 
-use fuzzgen::{check_source, CheckConfig};
+use fuzzgen::{check_source, CheckConfig, FailureKind};
 
 #[test]
 fn every_corpus_counterexample_passes_all_oracles() {
@@ -21,13 +27,31 @@ fn every_corpus_counterexample_passes_all_oracles() {
     let config = CheckConfig::default();
     for path in entries {
         let src = std::fs::read_to_string(&path).expect("readable corpus file");
-        if let Err(failure) = check_source(&src, &config) {
-            panic!(
+        let diagnostic_entry = path
+            .file_name()
+            .is_some_and(|n| n.to_string_lossy().contains("_diag_"));
+        // A panic anywhere in check_source fails the test for both
+        // kinds of entry — that is the whole point of the diag files.
+        match check_source(&src, &config) {
+            Ok(_) if diagnostic_entry => panic!(
+                "{} is an invalid-program entry but compiled cleanly",
+                path.display()
+            ),
+            Ok(_) => {}
+            Err(failure) if diagnostic_entry => assert_eq!(
+                failure.kind,
+                FailureKind::Compile,
+                "{} must fail with a compile diagnostic, got oracle {}:\n{}",
+                path.display(),
+                failure.kind,
+                failure.detail
+            ),
+            Err(failure) => panic!(
                 "{} regressed: oracle {} fired again:\n{}",
                 path.display(),
                 failure.kind,
                 failure.detail
-            );
+            ),
         }
         replayed += 1;
     }

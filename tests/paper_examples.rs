@@ -58,7 +58,7 @@ fn figure7_markov_solution() {
     let f = program.function_id("strchr").unwrap();
     let est = intra::estimate_function(&program, f, intra::IntraEstimator::Markov);
     let mut sorted = est.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let expect = [0.4444, 0.5556, 1.7778, 2.2222, 2.7778];
     for (got, want) in sorted.iter().zip(expect.iter()) {
         assert!((got - want).abs() < 1e-3, "{sorted:?}");

@@ -79,7 +79,7 @@ fn xlisp_markov_finds_busy_functions_despite_pointers() {
     let ia = estimate_program(&program, IntraEstimator::Smart);
     let ie = estimate_invocations(&program, &ia, InterEstimator::Markov);
     let mut order = program.defined_ids();
-    order.sort_by(|&a, &b| ie.of(b).partial_cmp(&ie.of(a)).unwrap());
+    order.sort_by(|&a, &b| ie.of(b).total_cmp(&ie.of(a)));
     let top12: Vec<&str> = order
         .iter()
         .take(12)

@@ -8,14 +8,17 @@
 
 #![warn(missing_docs)]
 
+use cache::codec::Artifact;
+use cache::{ArtifactKey, ArtifactKind, BytecodeMeta, Cache};
 use estimators::eval;
 use estimators::inter::{estimate_invocations, InterEstimator};
 use estimators::intra::{estimate_program, IntraEstimator};
 use estimators::missrate::{miss_rates, MissRates};
 use flowgraph::Program;
 use minic::sema::FuncId;
-use profiler::{Profile, RunConfig};
+use profiler::{CompiledProgram, Profile, RunConfig};
 use std::collections::HashSet;
+use std::sync::Arc;
 use suite::BenchProgram;
 
 /// A compiled-and-profiled suite program.
@@ -28,20 +31,98 @@ pub struct ProgramData {
     pub profiles: Vec<Profile>,
 }
 
-/// Compiles and profiles one suite program.
+/// One profile, by cache lookup when possible, by execution otherwise
+/// (writing through on a miss). The unit of work the pool schedules.
+fn profile_one(
+    bench: BenchProgram,
+    compiled: &CompiledProgram,
+    input: Vec<u8>,
+    cache: Option<&Cache>,
+) -> Profile {
+    let config = RunConfig::with_input(input);
+    let key = cache.map(|_| ArtifactKey::derive(ArtifactKind::Profile, bench.source, &config));
+    if let (Some(c), Some(k)) = (cache, key) {
+        if let Some(profile) = c.load_profile(k) {
+            return profile;
+        }
+    }
+    let out = compiled
+        .execute(&config)
+        .unwrap_or_else(|e| panic!("{}: runtime error: {e}", bench.name));
+    if let (Some(c), Some(k)) = (cache, key) {
+        c.store(k, &Artifact::Profile(out.profile.clone()));
+    }
+    out.profile
+}
+
+/// Records the compiled image's summary stats in the cache (skipped
+/// when already present — compilation is sub-millisecond, so the meta
+/// entry exists for capacity diagnostics, not to avoid work).
+fn store_bytecode_meta(bench: BenchProgram, compiled: &CompiledProgram, cache: Option<&Cache>) {
+    let Some(c) = cache else { return };
+    let key = ArtifactKey::derive(
+        ArtifactKind::BytecodeMeta,
+        bench.source,
+        &RunConfig::default(),
+    );
+    if c.load(key).is_some() {
+        return;
+    }
+    let (n_ops, n_funcs, n_blocks, data_words) = compiled.image_stats();
+    c.store(
+        key,
+        &Artifact::BytecodeMeta(BytecodeMeta {
+            n_ops,
+            n_funcs,
+            n_blocks,
+            data_words,
+        }),
+    );
+}
+
+/// Compiles and profiles one suite program on the global pool, with
+/// no artifact cache.
 ///
 /// # Panics
 ///
 /// Panics if the program fails to compile or run — suite programs are
 /// expected to be well-formed.
 pub fn load_program(bench: BenchProgram) -> ProgramData {
+    load_program_with(bench, pool::global(), None)
+}
+
+/// Compiles and profiles one suite program: compilation happens on
+/// the calling thread, then each input becomes one pool task that
+/// consults `cache` before executing and writes through after.
+/// Profiles return in input order for any pool size.
+///
+/// # Panics
+///
+/// See [`load_program`].
+pub fn load_program_with(
+    bench: BenchProgram,
+    pool: &pool::Pool,
+    cache: Option<&Cache>,
+) -> ProgramData {
     let _sp = obs::span("bench.load_program");
     let program = bench
         .compile()
         .unwrap_or_else(|e| panic!("{}: {}", bench.name, e.render(bench.source)));
-    let profiles = bench
-        .profiles(&program)
-        .unwrap_or_else(|e| panic!("{}: runtime error: {e}", bench.name));
+    let compiled = profiler::compile(&program);
+    store_bytecode_meta(bench, &compiled, cache);
+    let inputs = bench.inputs();
+    let mut profiles: Vec<Option<Profile>> = Vec::new();
+    profiles.resize_with(inputs.len(), || None);
+    pool.scope(|s| {
+        for (slot, input) in profiles.iter_mut().zip(inputs) {
+            let compiled = &compiled;
+            s.spawn(move |_| *slot = Some(profile_one(bench, compiled, input, cache)));
+        }
+    });
+    let profiles: Vec<Profile> = profiles
+        .into_iter()
+        .map(|p| p.expect("pool task filled its profile slot"))
+        .collect();
     obs::counter_add("bench.programs", 1);
     obs::counter_add("bench.profiles", profiles.len() as u64);
     ProgramData {
@@ -51,29 +132,81 @@ pub fn load_program(bench: BenchProgram) -> ProgramData {
     }
 }
 
-/// Compiles and profiles the whole suite (a few seconds of work).
-///
-/// Programs are loaded in parallel — one scoped thread per program,
-/// since compilation and the interpreter runs are independent — and
-/// returned in Table 1 order regardless of completion order. On a
-/// multi-core machine this makes suite loading bound by the slowest
-/// single program instead of the sum of all fourteen.
+/// Compiles and profiles the whole suite on the global pool with no
+/// artifact cache (a few seconds of work cold).
 pub fn load_suite() -> Vec<ProgramData> {
-    // Worker threads carry their own span stacks, so the per-program
-    // spans show up as `bench.load_program` roots whose times overlap;
-    // this span is the wall-clock envelope of the whole fan-out.
+    load_suite_with(pool::global(), None)
+}
+
+/// Compiles and profiles the whole suite as *(program, input)* tasks
+/// on `pool`, consulting `cache` per input.
+///
+/// One compile task per program fans out one profile task per input
+/// into the same scope, so workers drain a single global task supply:
+/// a straggler program's inputs spread across every idle core instead
+/// of serializing on the thread that compiled it. Results merge into
+/// pre-sized slots indexed by (program, input) position, so the
+/// output is byte-identical in Table 1 order for any pool size and
+/// any steal schedule (asserted by `tests/determinism.rs`).
+pub fn load_suite_with(pool: &pool::Pool, cache: Option<&Cache>) -> Vec<ProgramData> {
+    // Worker threads carry their own span stacks, so per-program
+    // spans show up as overlapping roots; this span is the wall-clock
+    // envelope of the whole fan-out.
     let _sp = obs::span("bench.load_suite");
     let benches = suite::all();
-    let mut results: Vec<Option<ProgramData>> = Vec::new();
-    results.resize_with(benches.len(), || None);
-    std::thread::scope(|scope| {
-        for (slot, bench) in results.iter_mut().zip(benches) {
-            scope.spawn(move || *slot = Some(load_program(bench)));
+    struct Slot {
+        program: Option<Program>,
+        profiles: Vec<Option<Profile>>,
+    }
+    let mut slots: Vec<Slot> = benches
+        .iter()
+        .map(|b| {
+            let mut profiles = Vec::new();
+            profiles.resize_with(b.inputs().len(), || None);
+            Slot {
+                program: None,
+                profiles,
+            }
+        })
+        .collect();
+    pool.scope(|s| {
+        for (&bench, slot) in benches.iter().zip(slots.iter_mut()) {
+            s.spawn(move |s| {
+                // Split the slot borrow so the program half stays here
+                // while each profile half moves into an input task.
+                let Slot { program, profiles } = slot;
+                let compiled_program = bench
+                    .compile()
+                    .unwrap_or_else(|e| panic!("{}: {}", bench.name, e.render(bench.source)));
+                let compiled = Arc::new(profiler::compile(&compiled_program));
+                store_bytecode_meta(bench, &compiled, cache);
+                *program = Some(compiled_program);
+                for (prof_slot, input) in profiles.iter_mut().zip(bench.inputs()) {
+                    let compiled = Arc::clone(&compiled);
+                    s.spawn(move |_| {
+                        *prof_slot = Some(profile_one(bench, &compiled, input, cache));
+                    });
+                }
+                obs::counter_add("bench.programs", 1);
+            });
         }
     });
-    results
+    benches
         .into_iter()
-        .map(|r| r.expect("every suite thread fills its slot"))
+        .zip(slots)
+        .map(|(bench, slot)| {
+            let profiles: Vec<Profile> = slot
+                .profiles
+                .into_iter()
+                .map(|p| p.expect("pool task filled its profile slot"))
+                .collect();
+            obs::counter_add("bench.profiles", profiles.len() as u64);
+            ProgramData {
+                bench,
+                program: slot.program.expect("compile task filled its slot"),
+                profiles,
+            }
+        })
         .collect()
 }
 

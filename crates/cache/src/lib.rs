@@ -1,0 +1,503 @@
+//! # cache — the persistent content-addressed artifact store
+//!
+//! The paper's pitch is that static estimates are cheap *because
+//! profiling is expensive* — and the pipeline telemetry agrees:
+//! profiler execution dwarfs every other stage combined, and before
+//! this crate existed nothing survived the process, so every `sfe
+//! suite` re-ran all of it. This store amortizes that cost across
+//! runs the way production PGO pipelines amortize profile collection:
+//! artifacts are keyed by a content fingerprint of everything that
+//! could change the result, kept in a directory of small checksummed
+//! files, consulted before executing, and written through after.
+//!
+//! ## Key derivation
+//!
+//! An [`ArtifactKey`] is a 128-bit FNV-1a fingerprint (two 64-bit
+//! streams with different offset bases — deterministic across
+//! processes, platforms, and Rust versions, unlike `DefaultHasher`)
+//! over a length-prefixed encoding of:
+//!
+//! - the artifact kind tag (profile vs. bytecode metadata),
+//! - [`FORMAT_VERSION`] (bump it and every old entry misses),
+//! - the full program source text,
+//! - the run configuration (`max_steps`, `max_call_depth`), and
+//! - the input bytes served to `getchar()`.
+//!
+//! Any change to any ingredient changes the key, so invalidation is
+//! automatic — there is no staleness protocol to get wrong.
+//!
+//! ## On-disk layout
+//!
+//! `<dir>/<k[0..2]>/<k[2..32]>.sfea`, where `k` is the 32-hex-digit
+//! key: a 256-way fan-out keeps directories small. Each file is
+//! `magic ‖ version ‖ payload_len ‖ fnv64(payload) ‖ payload` (see
+//! [`codec`]). Writes go to a `.tmp-<pid>-<n>` sibling and are
+//! `rename`d into place, so concurrent writers race benignly — both
+//! write identical bytes for identical keys — and readers never see a
+//! torn file.
+//!
+//! ## Failure policy
+//!
+//! A missing, truncated, corrupt, version-skewed, or
+//! wrong-checksummed entry is *never* an error: [`Cache::load`]
+//! returns `None`, bumps the `cache.corrupt` counter (when the bytes
+//! were there but wrong), and the caller recomputes and overwrites.
+//! The store is an accelerator, not a source of truth.
+//!
+//! ## Eviction
+//!
+//! Best-effort, capacity-based: when an opportunistic scan (at
+//! [`Cache::open`], and every [`EVICT_SCAN_INTERVAL`] writes) finds
+//! more than [`Cache::capacity`] entries, the oldest-modified entries
+//! are removed down to capacity and `cache.evictions` is bumped.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+
+use profiler::{Profile, RunConfig};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bump when the codec layout or key derivation changes; every entry
+/// written under another version silently misses.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File extension for cache entries.
+const ENTRY_EXT: &str = "sfea";
+
+/// How many writes between opportunistic eviction scans.
+pub const EVICT_SCAN_INTERVAL: u64 = 256;
+
+/// Default [`Cache::capacity`]: far above one suite's needs (14
+/// programs × a handful of inputs), far below anything that hurts.
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// What kind of artifact a key addresses. The tag participates in key
+/// derivation, so the two kinds can never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A full execution [`Profile`] of (source, config, input).
+    Profile,
+    /// [`BytecodeMeta`] for a compiled program (input-independent).
+    BytecodeMeta,
+}
+
+impl ArtifactKind {
+    fn tag(self) -> u8 {
+        match self {
+            ArtifactKind::Profile => 1,
+            ArtifactKind::BytecodeMeta => 2,
+        }
+    }
+}
+
+/// Summary statistics of a compiled bytecode image — the cheap,
+/// version-stable slice of `profiler::CompiledProgram` worth keeping
+/// (op and function counts for capacity planning; the bytecode itself
+/// recompiles in well under a millisecond, so caching the full image
+/// would cost determinism risk for no win).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BytecodeMeta {
+    /// Instructions in the compiled stream.
+    pub n_ops: u64,
+    /// Functions (defined + prototypes).
+    pub n_funcs: u64,
+    /// Total CFG blocks with counters.
+    pub n_blocks: u64,
+    /// Words in the static data image.
+    pub data_words: u64,
+}
+
+/// A 128-bit content fingerprint; the cache address of one artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArtifactKey(pub u128);
+
+/// Incremental FNV-1a over two 64-bit streams with distinct offset
+/// bases. Stable by construction — no std hasher internals involved.
+struct Fnv128 {
+    a: u64,
+    b: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128 {
+            a: 0xcbf2_9ce4_8422_2325,
+            // A second, unrelated offset basis (digits of pi) keeps
+            // the two streams independent.
+            b: 0x2437_0747_8584_2225,
+        }
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &x in bytes {
+            self.a = (self.a ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Length-prefixed field update, so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    fn field(&mut self, bytes: &[u8]) {
+        self.update(&(bytes.len() as u64).to_le_bytes());
+        self.update(bytes);
+    }
+
+    fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// Stand-alone FNV-1a/64 used for payload checksums.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in bytes {
+        h = (h ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl ArtifactKey {
+    /// The key of `kind` for running `source` under `config` — the
+    /// input bytes are part of `config`.
+    pub fn derive(kind: ArtifactKind, source: &str, config: &RunConfig) -> ArtifactKey {
+        let mut h = Fnv128::new();
+        h.update(&[kind.tag()]);
+        h.update(&FORMAT_VERSION.to_le_bytes());
+        h.field(source.as_bytes());
+        h.update(&config.max_steps.to_le_bytes());
+        h.update(&(config.max_call_depth as u64).to_le_bytes());
+        h.field(&config.input);
+        ArtifactKey(h.finish())
+    }
+
+    /// 32 lowercase hex digits.
+    fn hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// A handle on one cache directory. Cheap to clone conceptually but
+/// deliberately not `Clone`: share it by reference (it is `Sync`; all
+/// internal state is atomic).
+#[derive(Debug)]
+pub struct Cache {
+    dir: PathBuf,
+    capacity: usize,
+    writes: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl Cache {
+    /// Opens (creating if needed) the store rooted at `dir` with the
+    /// [`DEFAULT_CAPACITY`], and runs one eviction scan.
+    ///
+    /// # Errors
+    ///
+    /// Only if the directory cannot be created — a cache that cannot
+    /// even hold its root is worth surfacing, unlike any later I/O
+    /// trouble, which degrades to recomputation.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Cache> {
+        Cache::with_capacity(dir, DEFAULT_CAPACITY)
+    }
+
+    /// [`Cache::open`] with an explicit entry-count capacity.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cache::open`].
+    pub fn with_capacity(dir: impl Into<PathBuf>, capacity: usize) -> std::io::Result<Cache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let cache = Cache {
+            dir,
+            capacity: capacity.max(1),
+            writes: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        };
+        cache.evict_to_capacity();
+        Ok(cache)
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Maximum entries the eviction scan keeps.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn entry_path(&self, key: ArtifactKey) -> PathBuf {
+        let hex = key.hex();
+        self.dir
+            .join(&hex[..2])
+            .join(format!("{}.{ENTRY_EXT}", &hex[2..]))
+    }
+
+    /// Loads and decodes the artifact at `key`, or `None` on miss or
+    /// on any validation failure (bumping `cache.corrupt` for bytes
+    /// that exist but fail validation — the caller recomputes).
+    pub fn load(&self, key: ArtifactKey) -> Option<codec::Artifact> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                obs::counter_add("cache.misses", 1);
+                return None;
+            }
+        };
+        match codec::decode_entry(&bytes) {
+            Some(artifact) => {
+                obs::counter_add("cache.hits", 1);
+                Some(artifact)
+            }
+            None => {
+                obs::counter_add("cache.misses", 1);
+                obs::counter_add("cache.corrupt", 1);
+                // Drop the poisoned entry so the write-through after
+                // recomputation heals the store.
+                let _best_effort = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Convenience: [`Cache::load`] narrowed to profiles.
+    pub fn load_profile(&self, key: ArtifactKey) -> Option<Profile> {
+        match self.load(key)? {
+            codec::Artifact::Profile(p) => Some(p),
+            codec::Artifact::BytecodeMeta(_) => None,
+        }
+    }
+
+    /// Encodes and writes `artifact` at `key` (write-through after a
+    /// miss). All I/O errors degrade to "not cached": the tempfile is
+    /// cleaned up and the store stays consistent.
+    pub fn store(&self, key: ArtifactKey, artifact: &codec::Artifact) {
+        let entry = codec::encode_entry(artifact);
+        let path = self.entry_path(key);
+        let Some(parent) = path.parent() else { return };
+        if std::fs::create_dir_all(parent).is_err() {
+            return;
+        }
+        let tmp = parent.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = std::fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(&entry))
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        match written {
+            Ok(()) => obs::counter_add("cache.writes", 1),
+            Err(_) => {
+                let _best_effort = std::fs::remove_file(&tmp);
+                return;
+            }
+        }
+        if self.writes.fetch_add(1, Ordering::Relaxed) % EVICT_SCAN_INTERVAL
+            == EVICT_SCAN_INTERVAL - 1
+        {
+            self.evict_to_capacity();
+        }
+    }
+
+    /// Removes oldest-modified entries until at most `capacity`
+    /// remain. Best-effort: unreadable metadata sorts oldest, racing
+    /// removals are fine.
+    fn evict_to_capacity(&self) {
+        let mut entries: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        let Ok(shards) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for shard in shards.flatten() {
+            let Ok(files) = std::fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for f in files.flatten() {
+                let path = f.path();
+                if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXT) {
+                    continue;
+                }
+                let mtime = f
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                entries.push((mtime, path));
+            }
+        }
+        if entries.len() <= self.capacity {
+            return;
+        }
+        entries.sort();
+        let excess = entries.len() - self.capacity;
+        for (_, path) in entries.into_iter().take(excess) {
+            if std::fs::remove_file(path).is_ok() {
+                obs::counter_add("cache.evictions", 1);
+            }
+        }
+    }
+
+    /// Number of entries currently on disk (test/diagnostic helper;
+    /// walks the directory).
+    pub fn entry_count(&self) -> usize {
+        let Ok(shards) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        shards
+            .flatten()
+            .filter_map(|s| std::fs::read_dir(s.path()).ok())
+            .flatten()
+            .flatten()
+            .filter(|f| f.path().extension().and_then(|e| e.to_str()) == Some(ENTRY_EXT))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codec::Artifact;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sfe-cache-test-{}-{tag}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _fresh = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_profile(seed: u64) -> Profile {
+        use flowgraph::BlockId;
+        use minic::sema::FuncId;
+        let mut p = Profile {
+            block_counts: vec![vec![seed, seed * 2, 3], vec![]],
+            branch_counts: vec![(seed, 1), (0, 0)],
+            call_site_counts: vec![5, seed],
+            func_counts: vec![1, seed],
+            edge_counts: std::collections::HashMap::new(),
+            func_cost: vec![seed * 100, 7],
+        };
+        p.edge_counts
+            .insert((FuncId(0), BlockId(1), BlockId(2)), seed + 9);
+        p.edge_counts.insert((FuncId(1), BlockId(0), BlockId(0)), 3);
+        p
+    }
+
+    #[test]
+    fn round_trips_profile_and_meta() {
+        let cache = Cache::open(temp_dir("roundtrip")).unwrap();
+        let cfg = RunConfig::with_input("abc");
+        let kp = ArtifactKey::derive(ArtifactKind::Profile, "int main(void){}", &cfg);
+        let km = ArtifactKey::derive(ArtifactKind::BytecodeMeta, "int main(void){}", &cfg);
+        assert_ne!(kp, km, "kind participates in the key");
+
+        let profile = sample_profile(42);
+        cache.store(kp, &Artifact::Profile(profile.clone()));
+        assert_eq!(cache.load_profile(kp).unwrap(), profile);
+
+        let meta = BytecodeMeta {
+            n_ops: 10,
+            n_funcs: 2,
+            n_blocks: 5,
+            data_words: 64,
+        };
+        cache.store(km, &Artifact::BytecodeMeta(meta));
+        assert_eq!(cache.load(km), Some(Artifact::BytecodeMeta(meta)));
+        assert_eq!(cache.entry_count(), 2);
+        let _cleanup = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn keys_separate_every_ingredient() {
+        let cfg = RunConfig::with_input("in");
+        let base = ArtifactKey::derive(ArtifactKind::Profile, "src", &cfg);
+        assert_eq!(
+            base,
+            ArtifactKey::derive(ArtifactKind::Profile, "src", &cfg)
+        );
+
+        assert_ne!(
+            base,
+            ArtifactKey::derive(ArtifactKind::Profile, "src2", &cfg),
+            "source changes the key"
+        );
+        assert_ne!(
+            base,
+            ArtifactKey::derive(ArtifactKind::Profile, "src", &RunConfig::with_input("in2")),
+            "input changes the key"
+        );
+        let limits = RunConfig {
+            max_steps: 1,
+            ..RunConfig::with_input("in")
+        };
+        assert_ne!(
+            base,
+            ArtifactKey::derive(ArtifactKind::Profile, "src", &limits),
+            "run limits change the key"
+        );
+        // Length-prefixing: moving a byte across the source/input
+        // boundary must not collide.
+        assert_ne!(
+            ArtifactKey::derive(ArtifactKind::Profile, "ab", &RunConfig::with_input("c")),
+            ArtifactKey::derive(ArtifactKind::Profile, "a", &RunConfig::with_input("bc")),
+        );
+    }
+
+    #[test]
+    fn missing_entry_is_a_miss() {
+        let cache = Cache::open(temp_dir("miss")).unwrap();
+        let key = ArtifactKey::derive(ArtifactKind::Profile, "nothing here", &RunConfig::default());
+        assert!(cache.load(key).is_none());
+        let _cleanup = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn eviction_trims_oldest_to_capacity() {
+        let dir = temp_dir("evict");
+        let cache = Cache::with_capacity(&dir, 4).unwrap();
+        let profile = sample_profile(1);
+        let mut keys = Vec::new();
+        for i in 0..8u64 {
+            let cfg = RunConfig::with_input(i.to_le_bytes().to_vec());
+            let key = ArtifactKey::derive(ArtifactKind::Profile, "src", &cfg);
+            cache.store(key, &Artifact::Profile(profile.clone()));
+            keys.push(key);
+        }
+        assert_eq!(cache.entry_count(), 8, "scan interval not reached yet");
+        // Reopening runs a scan immediately.
+        drop(cache);
+        let cache = Cache::with_capacity(&dir, 4).unwrap();
+        assert_eq!(cache.entry_count(), 4);
+        let _cleanup = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn concurrent_stores_of_same_key_are_benign() {
+        let cache = Cache::open(temp_dir("concurrent")).unwrap();
+        let key = ArtifactKey::derive(ArtifactKind::Profile, "x", &RunConfig::default());
+        let profile = sample_profile(9);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        cache.store(key, &Artifact::Profile(profile.clone()));
+                        if let Some(p) = cache.load_profile(key) {
+                            assert_eq!(p, profile);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.load_profile(key).unwrap(), profile);
+        let _cleanup = std::fs::remove_dir_all(cache.dir());
+    }
+}

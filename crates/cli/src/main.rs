@@ -21,7 +21,15 @@
 //! ```text
 //! --trace               print the aggregated span tree + counters to stderr
 //! --metrics-out <path>  write schema-stable metrics JSON (obs-metrics/v1)
+//! --cache-dir <path>    artifact cache directory (default: ./cache for `suite`)
+//! --no-cache            disable the artifact cache entirely
 //! ```
+//!
+//! `sfe suite` caches its profiles by default: the first run fills
+//! `./cache` and later runs replay it in tens of milliseconds with
+//! byte-identical scores. The cache is content-addressed, so edited
+//! sources or inputs re-profile automatically; corrupt entries are
+//! recomputed, never trusted.
 
 #![warn(missing_docs)]
 
@@ -34,6 +42,8 @@ fn main() -> ExitCode {
     // the positional `<command> <file> [arg]` form.
     let mut trace = false;
     let mut metrics_out: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut no_cache = false;
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
@@ -46,13 +56,21 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--cache-dir" => match raw.next() {
+                Some(p) => cache_dir = Some(p),
+                None => {
+                    eprintln!("sfe: --cache-dir needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => no_cache = true,
             _ => args.push(a),
         }
     }
     if trace || metrics_out.is_some() {
         obs::set_enabled(true);
     }
-    let code = dispatch(&args);
+    let code = dispatch(&args, cache_dir.as_deref(), no_cache);
     // Spans all closed by now (dispatch returned); flush telemetry.
     if trace || metrics_out.is_some() {
         obs::set_enabled(false);
@@ -70,13 +88,13 @@ fn main() -> ExitCode {
     code
 }
 
-fn dispatch(args: &[String]) -> ExitCode {
+fn dispatch(args: &[String], cache_dir: Option<&str>, no_cache: bool) -> ExitCode {
     if args.first().map(String::as_str) == Some("suite") {
-        return suite_report();
+        return suite_report(cache_dir, no_cache);
     }
     if args.len() < 2 {
         eprintln!(
-            "usage: sfe [--trace] [--metrics-out <path>] \
+            "usage: sfe [--trace] [--metrics-out <path>] [--cache-dir <path>] [--no-cache] \
              <report|blocks|branches|callsites|dot|run|suite|pretty> [file.c] [arg]"
         );
         return ExitCode::from(2);
@@ -321,8 +339,25 @@ fn run(program: &Program, input_path: Option<&str>) -> ExitCode {
 /// Runs the entire pipeline over the 14-program suite: compile, lower,
 /// profile every standard input, estimate, and weight-match — the
 /// full-system traced run `--trace`/`--metrics-out` are built for.
-fn suite_report() -> ExitCode {
-    let data = bench::load_suite();
+///
+/// Profiles come from the artifact cache when warm (default dir
+/// `./cache`, override with `--cache-dir`, disable with `--no-cache`);
+/// an unopenable cache degrades to uncached execution with a warning,
+/// never a failure.
+fn suite_report(cache_dir: Option<&str>, no_cache: bool) -> ExitCode {
+    let cache = if no_cache {
+        None
+    } else {
+        let dir = cache_dir.unwrap_or("cache");
+        match cache::Cache::open(dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("sfe: cannot open cache dir {dir}: {e}; running uncached");
+                None
+            }
+        }
+    };
+    let data = bench::load_suite_with(pool::global(), cache.as_ref());
     println!(
         "{:<12} {:>8} {:>8} {:>12}  {:>6} {:>6}",
         "program", "funcs", "blocks", "steps", "inv@25", "cs@25"

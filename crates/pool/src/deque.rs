@@ -1,0 +1,238 @@
+//! A fixed-capacity Chase–Lev work-stealing deque.
+//!
+//! One worker thread owns each deque: only the owner pushes and pops
+//! at the *bottom* (LIFO — freshly spawned subtasks stay hot in
+//! cache), while any other thread may steal from the *top* (FIFO —
+//! thieves take the oldest, largest-granularity work). Stealing is
+//! lock-free: a thief claims an element with a single
+//! compare-exchange on `top`; the only synchronization the owner ever
+//! performs is one `SeqCst` fence in `pop` to arbitrate the
+//! last-element race.
+//!
+//! The buffer never grows. A full deque rejects the push and the pool
+//! overflows the task to its shared injector queue instead, which
+//! bounds memory and sidesteps the memory-reclamation problem a
+//! growable Chase–Lev buffer would bring. Slots are `AtomicPtr`, so
+//! every cross-thread slot access is an atomic load/store — no
+//! data-race UB even in the benign racy reads the classic algorithm
+//! performs.
+//!
+//! Orderings follow Lê, Pop, Cohen & Zappa Nardelli, "Correct and
+//! Efficient Work-Stealing for Weak Memory Models" (PPoPP 2013), with
+//! `SeqCst` kept wherever the paper allows something weaker but the
+//! cost is irrelevant at this pool's task granularity (whole
+//! compile/profile jobs, never per-instruction work).
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+/// Capacity of every worker deque. 1024 outstanding subtasks per
+/// worker is far beyond what suite loading fans out (14 programs × a
+/// handful of inputs); overflow goes to the pool injector, so this is
+/// a performance knob, not a correctness limit.
+pub(crate) const DEQUE_CAP: usize = 1024;
+const MASK: isize = (DEQUE_CAP as isize) - 1;
+
+/// The owner/thief deque. `T` is always the pool's raw task pointer;
+/// the deque treats it as an opaque non-null pointer and never
+/// dereferences it.
+pub(crate) struct Deque<T> {
+    /// Next slot the owner will push into (owner-written only).
+    bottom: AtomicIsize,
+    /// Oldest unclaimed slot (thieves advance it by CAS).
+    top: AtomicIsize,
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> Deque<T> {
+    pub(crate) fn new() -> Self {
+        let slots = (0..DEQUE_CAP)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Deque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            slots,
+        }
+    }
+
+    /// Owner-only: push `ptr` at the bottom. Returns `Err(ptr)` when
+    /// the deque is full (caller overflows to the injector).
+    pub(crate) fn push(&self, ptr: *mut T) -> Result<(), *mut T> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= DEQUE_CAP as isize {
+            return Err(ptr);
+        }
+        self.slots[(b & MASK) as usize].store(ptr, Ordering::Relaxed);
+        // Publish: a thief that observes the new bottom (Acquire) also
+        // observes the slot write above.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop the most recently pushed element (LIFO).
+    pub(crate) fn pop(&self) -> Option<*mut T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The fence orders the bottom store above against the top load
+        // below, so either this pop sees a concurrent thief's top
+        // advance, or that thief sees the reserved bottom — never
+        // neither (the classic SC arbitration of the last element).
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty: undo the reservation.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let ptr = self.slots[(b & MASK) as usize].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race thieves for it via top.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(ptr);
+        }
+        // More than one element: no thief can reach index b (they all
+        // target top < b), so the claim is uncontended.
+        Some(ptr)
+    }
+
+    /// Thief: try to steal the oldest element (FIFO). Returns `None`
+    /// both when the deque is empty and when the single attempt lost a
+    /// race — callers move on to the next victim rather than spin.
+    pub(crate) fn steal(&self) -> Option<*mut T> {
+        let t = self.top.load(Ordering::Acquire);
+        // Order the top load before the bottom load; pairs with the
+        // fence in `pop`.
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return None;
+        }
+        // Read the element *before* claiming it: once the CAS below
+        // succeeds the owner may reuse the slot. The read cannot be
+        // stale: overwriting slot `t & MASK` requires bottom to reach
+        // `t + DEQUE_CAP`, which `push` only allows once top has moved
+        // past `t` — and then the CAS fails.
+        let ptr = self.slots[(t & MASK) as usize].load(Ordering::Relaxed);
+        self.top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+            .then_some(ptr)
+    }
+
+    /// Exclusive drain for shutdown: requires `&mut self`, so no
+    /// owner or thief can be active.
+    pub(crate) fn drain(&mut self) -> Vec<*mut T> {
+        let t = self.top.load(Ordering::Relaxed);
+        let b = self.bottom.load(Ordering::Relaxed);
+        let out = (t..b)
+            .map(|i| self.slots[(i & MASK) as usize].load(Ordering::Relaxed))
+            .collect();
+        self.top.store(b, Ordering::Relaxed);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn leak(v: usize) -> *mut usize {
+        Box::into_raw(Box::new(v))
+    }
+
+    unsafe fn take(p: *mut usize) -> usize {
+        *unsafe { Box::from_raw(p) }
+    }
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d: Deque<usize> = Deque::new();
+        for i in 0..4 {
+            d.push(leak(i)).unwrap();
+        }
+        // SAFETY: pointers come straight from `leak` above.
+        unsafe {
+            assert_eq!(take(d.steal().unwrap()), 0, "thief takes oldest");
+            assert_eq!(take(d.pop().unwrap()), 3, "owner takes newest");
+            assert_eq!(take(d.pop().unwrap()), 2);
+            assert_eq!(take(d.steal().unwrap()), 1);
+        }
+        assert!(d.pop().is_none());
+        assert!(d.steal().is_none());
+    }
+
+    #[test]
+    fn rejects_push_when_full() {
+        let mut d: Deque<usize> = Deque::new();
+        for i in 0..DEQUE_CAP {
+            d.push(leak(i)).unwrap();
+        }
+        let extra = leak(99);
+        let back = d.push(extra).unwrap_err();
+        assert_eq!(back, extra);
+        // SAFETY: both pointers are live `leak` results.
+        unsafe {
+            take(back);
+            for p in d.drain() {
+                take(p);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_steal_delivers_each_element_once() {
+        // 4 thieves + the owner popping: every pushed value must be
+        // claimed exactly once. Run a few rounds to shake the
+        // last-element race.
+        const N: usize = 10_000;
+        let d: Arc<Deque<usize>> = Arc::new(Deque::new());
+        let sum = Arc::new(AtomicUsize::new(0));
+        let claimed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = Arc::clone(&d);
+                let sum = Arc::clone(&sum);
+                let claimed = Arc::clone(&claimed);
+                s.spawn(move || {
+                    while claimed.load(Ordering::Relaxed) < N {
+                        if let Some(p) = d.steal() {
+                            // SAFETY: exclusively claimed by steal.
+                            sum.fetch_add(unsafe { take(p) }, Ordering::Relaxed);
+                            claimed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            let mut pushed = 0usize;
+            while pushed < N {
+                if d.push(leak(pushed + 1)).is_ok() {
+                    pushed += 1;
+                }
+                if pushed.is_multiple_of(7) {
+                    if let Some(p) = d.pop() {
+                        // SAFETY: exclusively claimed by pop.
+                        sum.fetch_add(unsafe { take(p) }, Ordering::Relaxed);
+                        claimed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Drain the leftovers so every element gets claimed and
+            // the thieves' loops terminate.
+            while claimed.load(Ordering::Relaxed) < N {
+                if let Some(p) = d.pop() {
+                    // SAFETY: exclusively claimed by pop.
+                    sum.fetch_add(unsafe { take(p) }, Ordering::Relaxed);
+                    claimed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), N * (N + 1) / 2);
+    }
+}

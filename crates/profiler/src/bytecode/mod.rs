@@ -551,6 +551,18 @@ impl CompiledProgram {
         out
     }
 
+    /// Summary sizes of the compiled image: `(ops, funcs, blocks,
+    /// data words)`. Exposed so the artifact cache can persist
+    /// bytecode metadata without reaching into `pub(crate)` fields.
+    pub fn image_stats(&self) -> (u64, u64, u64, u64) {
+        (
+            self.ops.len() as u64,
+            self.funcs.len() as u64,
+            self.block_lens.iter().map(|&n| u64::from(n)).sum(),
+            self.data_image.len() as u64,
+        )
+    }
+
     /// An all-zero profile shaped like this program's.
     pub(crate) fn empty_profile(&self) -> Profile {
         Profile {

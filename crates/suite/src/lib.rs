@@ -69,34 +69,51 @@ impl BenchProgram {
     /// Runs the program on every standard input, returning the
     /// outcomes (profile + output) in input order.
     ///
-    /// The program is compiled to bytecode once; the inputs then
-    /// execute in parallel against the shared [`profiler::CompiledProgram`]
-    /// (it is immutable — all run state lives in the VM). Results
-    /// come back in input order regardless of completion order, and
-    /// on error the first failing input (in input order) wins, so
-    /// the observable behavior matches the old sequential loop.
+    /// Equivalent to [`BenchProgram::run_all_on`] with the global
+    /// pool; see there for the execution model.
     ///
     /// # Errors
     ///
     /// Propagates any [`RuntimeError`] — suite programs are expected
     /// to run cleanly on their standard inputs.
     pub fn run_all(&self, program: &Program) -> Result<Vec<RunOutcome>, RuntimeError> {
+        self.run_all_on(pool::global(), program)
+    }
+
+    /// Runs the program on every standard input as tasks on `pool`.
+    ///
+    /// The program is compiled to bytecode once; the inputs then
+    /// execute as pool tasks against the shared
+    /// [`profiler::CompiledProgram`] (it is immutable — all run state
+    /// lives in the VM). Results come back in input order regardless
+    /// of completion order, and on error the first failing input (in
+    /// input order) wins, so the observable behavior matches a
+    /// sequential loop for any pool size.
+    ///
+    /// # Errors
+    ///
+    /// See [`BenchProgram::run_all`].
+    pub fn run_all_on(
+        &self,
+        pool: &pool::Pool,
+        program: &Program,
+    ) -> Result<Vec<RunOutcome>, RuntimeError> {
         let _sp = obs::span("suite.run_all");
         let compiled = profiler::compile(program);
         let inputs = self.inputs();
         let mut results: Vec<Option<Result<RunOutcome, RuntimeError>>> = Vec::new();
         results.resize_with(inputs.len(), || None);
-        std::thread::scope(|s| {
+        pool.scope(|s| {
             for (slot, input) in results.iter_mut().zip(inputs) {
                 let compiled = &compiled;
-                s.spawn(move || {
+                s.spawn(move |_| {
                     *slot = Some(compiled.execute(&RunConfig::with_input(input)));
                 });
             }
         });
         results
             .into_iter()
-            .map(|r| r.expect("scoped thread filled its slot"))
+            .map(|r| r.expect("pool task filled its slot"))
             .collect()
     }
 

@@ -7,6 +7,16 @@
 //! one entry per run, committed by CI's quick-bench step. The traced
 //! run is one-shot (the registry aggregates a single pass), so there
 //! is no quick/full mode split.
+//!
+//! Schema (`pipeline/v2`): keys ending `_wall_ms` (and the legacy
+//! `wall_ms`) are wall-clock; keys ending `_cpu_ms` are *CPU time
+//! summed across pool workers*, so they legitimately exceed the wall
+//! figures on multi-core runs. v1 rows (no `schema` key) used plain
+//! `*_ms` names for the same CPU sums — `profiler_execute_ms: 15280`
+//! inside a 905 ms wall run was parallel CPU time, not a timing bug.
+//! The `opt_*` keys measure the `-O3` optimizing backend on compress:
+//! optimization cost, measured VM steps before/after, and per-pass
+//! work counters.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use estimators::eval;
@@ -66,6 +76,40 @@ fn traced_pass(cache: &cache::Cache) -> (f64, obs::Metrics, String) {
     (wall_ms, m, scores)
 }
 
+struct OptPass {
+    optimize_cpu_ms: f64,
+    steps_before: u64,
+    steps_after: u64,
+    stats: opt::OptStats,
+}
+
+/// The optimizer row: compress at `-O3`, full budget, static-estimate
+/// frequencies; measured steps on the first standard input.
+fn optimizer_pass() -> OptPass {
+    let bench_prog = suite::by_name("compress").expect("compress in suite");
+    let program = bench_prog.compile().expect("compiles");
+    let cp = profiler::compile(&program);
+    let ranking = estimators::ranking::StaticRanking::new(&program);
+    let plan = bench::plan_from_ranking(&ranking, &cp, 3, cp.funcs.len());
+
+    obs::reset();
+    obs::set_enabled(true);
+    let (ocp, stats) = opt::optimize(&cp, &plan);
+    obs::set_enabled(false);
+    let m = obs::snapshot();
+    obs::reset();
+
+    let config = profiler::RunConfig::with_input(bench_prog.inputs().remove(0));
+    let steps_before = cp.execute(&config).expect("compress runs").steps;
+    let steps_after = ocp.execute(&config).expect("optimized compress runs").steps;
+    OptPass {
+        optimize_cpu_ms: stage_ms(&m, "opt.optimize"),
+        steps_before,
+        steps_after,
+        stats,
+    }
+}
+
 fn write_trajectory() {
     // A fresh artifact-cache directory per invocation: the first pass
     // is guaranteed cold, the second guaranteed warm.
@@ -81,26 +125,35 @@ fn write_trajectory() {
     );
     let _cleanup = std::fs::remove_dir_all(&cache_dir);
 
+    let o = optimizer_pass();
+
     // Per-program span times overlap across the parallel `load_suite`
-    // tasks, so the stage columns are CPU-time aggregates; the wall
-    // columns are the only wall-clock figures. The in-process compile
-    // cache is keyed per program, so across 14 distinct programs its
-    // *rate* is structurally 0 on a cold run — report the raw per-run
-    // hit/miss counts instead, plus a separate warm-run row where the
-    // persistent artifact cache carries all the profiling work.
+    // tasks, so the `*_cpu_ms` stage columns are CPU-time aggregates
+    // summed over workers (they exceed wall time on multi-core runs by
+    // design); the `*wall_ms` columns are the only wall-clock figures.
+    // The in-process compile cache is keyed per program, so across 14
+    // distinct programs its *rate* is structurally 0 on a cold run —
+    // report the raw per-run hit/miss counts instead, plus a separate
+    // warm-run row where the persistent artifact cache carries all the
+    // profiling work.
     let entry = format!(
-        "{{\"wall_ms\": {cold_ms:.1}, \
-          \"suite_cold_ms\": {cold_ms:.1}, \"suite_warm_ms\": {warm_ms:.1}, \
-          \"minic_compile_ms\": {:.1}, \"flowgraph_build_ms\": {:.1}, \
-          \"linsolve_solve_ms\": {:.1}, \"profiler_execute_ms\": {:.1}, \
-          \"estimate_ms\": {:.1}, \"metric_weight_match_ms\": {:.1}, \
+        "{{\"schema\": \"pipeline/v2\", \"wall_ms\": {cold_ms:.1}, \
+          \"suite_cold_wall_ms\": {cold_ms:.1}, \"suite_warm_wall_ms\": {warm_ms:.1}, \
+          \"minic_compile_cpu_ms\": {:.1}, \"flowgraph_build_cpu_ms\": {:.1}, \
+          \"linsolve_solve_cpu_ms\": {:.1}, \"profiler_execute_cpu_ms\": {:.1}, \
+          \"estimate_cpu_ms\": {:.1}, \"metric_weight_match_cpu_ms\": {:.1}, \
           \"programs\": {}, \"linsolve_solves\": {}, \
           \"linsolve_damped_fallback\": {}, \"profiler_steps\": {}, \
           \"profiler_cache_hits\": {}, \"profiler_cache_misses\": {}, \
           \"artifact_cache_hits_cold\": {}, \"artifact_cache_misses_cold\": {}, \
           \"artifact_cache_hits_warm\": {}, \"artifact_cache_misses_warm\": {}, \
           \"pool_workers\": {}, \"pool_tasks\": {}, \"pool_steals\": {}, \
-          \"metric_weight_matches\": {}}}",
+          \"metric_weight_matches\": {}, \
+          \"opt_program\": \"compress\", \"opt_level\": 3, \
+          \"opt_optimize_cpu_ms\": {:.2}, \
+          \"opt_steps_before\": {}, \"opt_steps_after\": {}, \"opt_speedup\": {:.3}, \
+          \"opt_inlined_calls\": {}, \"opt_folded\": {}, \
+          \"opt_dce_blocks\": {}, \"opt_fused\": {}}}",
         stage_ms(&m, "minic.compile"),
         stage_ms(&m, "flowgraph.build"),
         stage_ms(&m, "linsolve.solve"),
@@ -121,6 +174,14 @@ fn write_trajectory() {
         counter(&m, "pool.tasks"),
         counter(&m, "pool.steals"),
         counter(&m, "metric.weight_matches"),
+        o.optimize_cpu_ms,
+        o.steps_before,
+        o.steps_after,
+        o.steps_before as f64 / o.steps_after as f64,
+        o.stats.inlined_calls,
+        o.stats.folded,
+        o.stats.dce_blocks,
+        o.stats.fused,
     );
     println!("pipeline/record_json: {entry}");
 

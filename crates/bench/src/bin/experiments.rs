@@ -340,6 +340,25 @@ fn fig10() {
     println!("static (Markov) rank order: {}", f.static_order.join(", "));
     println!("(paper: the static estimate finds the top-4 hot functions; optimizing");
     println!(" the remaining 12 adds nothing)");
+
+    header("Figure 10 (measured): optimizer speedup vs budget, held-out input");
+    let m = bench::fig10_measured();
+    for p in &m.programs {
+        println!("{} (baseline {} steps)", p.name, p.baseline_steps);
+        print!("  {:<10}", "k");
+        for k in &p.ks {
+            print!(" {k:>6}");
+        }
+        println!();
+        for c in &p.curves {
+            print!("  {:<10}", c.ranking);
+            for v in &c.speedups {
+                print!(" {v:>6.3}");
+            }
+            println!();
+        }
+    }
+    println!("(speedup = unoptimized steps / optimized steps at -O3, top-k budget)");
 }
 
 fn ablation(suite_data: &[ProgramData]) {

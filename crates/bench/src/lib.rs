@@ -14,6 +14,7 @@ use estimators::eval;
 use estimators::inter::{estimate_invocations, InterEstimator};
 use estimators::intra::{estimate_program, IntraEstimator};
 use estimators::missrate::{miss_rates, MissRates};
+use estimators::ranking::Ranking;
 use flowgraph::Program;
 use minic::sema::FuncId;
 use profiler::{CompiledProgram, Profile, RunConfig};
@@ -185,6 +186,104 @@ pub fn load_suite_with(pool: &pool::Pool, cache: Option<&Cache>) -> Vec<ProgramD
                     let compiled = Arc::clone(&compiled);
                     s.spawn(move |_| {
                         *prof_slot = Some(profile_one(bench, &compiled, input, cache));
+                    });
+                }
+                obs::counter_add("bench.programs", 1);
+            });
+        }
+    });
+    benches
+        .into_iter()
+        .zip(slots)
+        .map(|(bench, slot)| {
+            let profiles: Vec<Profile> = slot
+                .profiles
+                .into_iter()
+                .map(|p| p.expect("pool task filled its profile slot"))
+                .collect();
+            obs::counter_add("bench.profiles", profiles.len() as u64);
+            ProgramData {
+                bench,
+                program: slot.program.expect("compile task filled its slot"),
+                profiles,
+            }
+        })
+        .collect()
+}
+
+/// One optimized-run profile, by cache lookup when possible, by
+/// executing the optimized program otherwise (writing through on a
+/// miss). The cache key is salted with the opt level and the pass
+/// pipeline version, so a level change or an optimizer change always
+/// re-executes.
+fn profile_one_opt(
+    bench: BenchProgram,
+    optimized: &CompiledProgram,
+    opt_level: u8,
+    input: Vec<u8>,
+    cache: Option<&Cache>,
+) -> Profile {
+    let config = RunConfig::with_input(input);
+    let key = cache.map(|_| {
+        ArtifactKey::derive_opt(bench.source, &config, opt_level, opt::PASS_PIPELINE_VERSION)
+    });
+    if let (Some(c), Some(k)) = (cache, key) {
+        if let Some(profile) = c.load_opt_profile(k) {
+            return profile;
+        }
+    }
+    let out = optimized
+        .execute(&config)
+        .unwrap_or_else(|e| panic!("{}: optimized runtime error: {e}", bench.name));
+    if let (Some(c), Some(k)) = (cache, key) {
+        c.store(k, &Artifact::OptProfile(out.profile.clone()));
+    }
+    out.profile
+}
+
+/// [`load_suite_with`], but every program is optimized at `opt_level`
+/// (full budget, static-estimate frequencies — no profiling needed to
+/// build the plan) before profiling, and profiles hit the
+/// [`ArtifactKind::OptProfile`](cache::ArtifactKind::OptProfile)
+/// cache. The returned profiles carry optimized `func_cost`; all
+/// count counters are identical to unoptimized runs by the
+/// optimizer's contract.
+pub fn load_suite_opt(pool: &pool::Pool, cache: Option<&Cache>, opt_level: u8) -> Vec<ProgramData> {
+    let _sp = obs::span("bench.load_suite_opt");
+    let benches = suite::all();
+    struct Slot {
+        program: Option<Program>,
+        profiles: Vec<Option<Profile>>,
+    }
+    let mut slots: Vec<Slot> = benches
+        .iter()
+        .map(|b| {
+            let mut profiles = Vec::new();
+            profiles.resize_with(b.inputs().len(), || None);
+            Slot {
+                program: None,
+                profiles,
+            }
+        })
+        .collect();
+    pool.scope(|s| {
+        for (&bench, slot) in benches.iter().zip(slots.iter_mut()) {
+            s.spawn(move |s| {
+                let Slot { program, profiles } = slot;
+                let compiled_program = bench
+                    .compile()
+                    .unwrap_or_else(|e| panic!("{}: {}", bench.name, e.render(bench.source)));
+                let cp = profiler::compile(&compiled_program);
+                let ranking = estimators::ranking::StaticRanking::new(&compiled_program);
+                let plan = plan_from_ranking(&ranking, &cp, opt_level, cp.funcs.len());
+                let (optimized, _stats) = opt::optimize(&cp, &plan);
+                let optimized = Arc::new(optimized);
+                *program = Some(compiled_program);
+                for (prof_slot, input) in profiles.iter_mut().zip(bench.inputs()) {
+                    let optimized = Arc::clone(&optimized);
+                    s.spawn(move |_| {
+                        *prof_slot =
+                            Some(profile_one_opt(bench, &optimized, opt_level, input, cache));
                     });
                 }
                 obs::counter_add("bench.programs", 1);
@@ -508,6 +607,179 @@ pub fn fig10() -> Fig10 {
     }
 }
 
+/// The suite programs the measured Fig 10 experiment optimizes:
+/// compress (the paper's subject) plus three structurally different
+/// codes — branchy logic, set-cover heuristics, and straight-line
+/// numerics.
+pub const FIG10_PROGRAMS: [&str; 4] = ["compress", "eqntott", "espresso", "cholesky"];
+
+/// One ranking's measured curve: VM steps (and wall time) on the
+/// held-out input after optimizing the top-`k` functions.
+#[derive(Debug, Clone)]
+pub struct Fig10Curve {
+    /// Ranking provider name ("static" / "profile" / "oracle").
+    pub ranking: &'static str,
+    /// Measured VM steps per budget increment.
+    pub steps: Vec<u64>,
+    /// `baseline_steps / steps[i]`.
+    pub speedups: Vec<f64>,
+    /// Optimized-run wall time per budget increment, milliseconds.
+    pub wall_ms: Vec<f64>,
+}
+
+/// The measured Fig 10 result for one program.
+#[derive(Debug, Clone)]
+pub struct Fig10Program {
+    /// Suite program name.
+    pub name: &'static str,
+    /// The x axis: number of functions whose optimization was budgeted.
+    pub ks: Vec<usize>,
+    /// Unoptimized VM steps on the held-out input.
+    pub baseline_steps: u64,
+    /// Function names in static rank order (hottest first).
+    pub static_order: Vec<String>,
+    /// One curve per ranking provider.
+    pub curves: Vec<Fig10Curve>,
+}
+
+/// Figure 10 with *measured* speedups: the optimizer actually runs.
+#[derive(Debug, Clone)]
+pub struct Fig10Measured {
+    /// One result per program in [`FIG10_PROGRAMS`].
+    pub programs: Vec<Fig10Program>,
+}
+
+/// Builds an [`opt::OptPlan`] that budgets the `k` hottest functions
+/// of `ranking` and steers every frequency-guided pass with the
+/// ranking's block and call-site frequencies.
+pub fn plan_from_ranking(
+    ranking: &dyn estimators::ranking::Ranking,
+    cp: &CompiledProgram,
+    level: u8,
+    k: usize,
+) -> opt::OptPlan {
+    let mut budgeted = vec![false; cp.funcs.len()];
+    for f in ranking.func_order().into_iter().take(k) {
+        budgeted[f.0 as usize] = true;
+    }
+    opt::OptPlan {
+        level,
+        budgeted,
+        block_freqs: ranking.block_freqs(),
+        site_freqs: ranking.site_freqs(),
+        inline_budget: opt::default_inline_budget(cp),
+    }
+}
+
+/// Runs the measured Fig 10 experiment for one suite program.
+///
+/// The last standard input is held out for measurement; the rest are
+/// the training set for the "profile" ranking. Each optimized run is
+/// checked byte-identical to the unoptimized baseline.
+///
+/// # Panics
+///
+/// Panics if the program fails to run or an optimized run diverges
+/// from the baseline output — both indicate optimizer bugs.
+pub fn fig10_measured_one(name: &'static str, ks: &[usize]) -> Fig10Program {
+    let _sp = obs::span("bench.fig10_measured");
+    let bench = suite::by_name(name).expect("suite program");
+    let program = bench.compile().expect("compiles");
+    let cp = profiler::compile(&program);
+
+    let mut inputs = bench.inputs();
+    let holdout = inputs.pop().expect("suite programs have inputs");
+    let holdout_cfg = RunConfig::with_input(holdout);
+    let baseline = cp.execute(&holdout_cfg).expect("holdout runs");
+
+    let training: Vec<Profile> = inputs
+        .into_iter()
+        .map(|input| {
+            cp.execute(&RunConfig::with_input(input))
+                .expect("training input runs")
+                .profile
+        })
+        .collect();
+    let training_refs: Vec<&Profile> = training.iter().collect();
+
+    let st = estimators::ranking::StaticRanking::new(&program);
+    let pr = estimators::ranking::ProfileRanking::measured(&program, &training_refs);
+    let or = estimators::ranking::ProfileRanking::oracle(&program, &baseline.profile);
+    let rankings: [&dyn estimators::ranking::Ranking; 3] = [&st, &pr, &or];
+
+    // Recosting can move a run across the step limit in either
+    // direction near the boundary; 4x headroom keeps the measurement
+    // about steps, not the limit.
+    let opt_cfg = RunConfig {
+        max_steps: holdout_cfg.max_steps.saturating_mul(4),
+        ..holdout_cfg.clone()
+    };
+
+    let curves = rankings
+        .iter()
+        .map(|ranking| {
+            let mut steps = Vec::with_capacity(ks.len());
+            let mut wall_ms = Vec::with_capacity(ks.len());
+            for &k in ks {
+                let plan = plan_from_ranking(*ranking, &cp, 3, k);
+                let (ocp, _stats) = opt::optimize(&cp, &plan);
+                let t0 = std::time::Instant::now();
+                let out = ocp.execute(&opt_cfg).expect("optimized holdout runs");
+                wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(
+                    out.output,
+                    baseline.output,
+                    "{name} @ {} k={k}: optimized output diverged",
+                    ranking.name()
+                );
+                assert_eq!(out.exit_code, baseline.exit_code, "{name} k={k}: exit");
+                steps.push(out.steps);
+            }
+            let speedups = steps
+                .iter()
+                .map(|&s| baseline.steps as f64 / s as f64)
+                .collect();
+            Fig10Curve {
+                ranking: ranking.name(),
+                steps,
+                speedups,
+                wall_ms,
+            }
+        })
+        .collect();
+
+    Fig10Program {
+        name,
+        ks: ks.to_vec(),
+        baseline_steps: baseline.steps,
+        static_order: st
+            .func_order()
+            .iter()
+            .map(|&f| program.module.function(f).name.clone())
+            .collect(),
+        curves,
+    }
+}
+
+/// The full measured Fig 10: every program in [`FIG10_PROGRAMS`],
+/// budgets 0..=6 plus "everything".
+pub fn fig10_measured() -> Fig10Measured {
+    let programs = FIG10_PROGRAMS
+        .iter()
+        .map(|&name| {
+            let n = suite::by_name(name)
+                .expect("suite program")
+                .compile()
+                .expect("compiles")
+                .defined_ids()
+                .len();
+            let ks: Vec<usize> = (0..=6).chain([n]).collect();
+            fig10_measured_one(name, &ks)
+        })
+        .collect();
+    Fig10Measured { programs }
+}
+
 /// Ablation results for the design choices DESIGN.md calls out.
 #[derive(Debug, Clone, Default)]
 pub struct Ablation {
@@ -736,6 +1008,36 @@ mod tests {
             assert!(rates.dynamic_branches > 0, "{name}");
             assert!((0.0..0.25).contains(&frac), "{name}: switch frac {frac}");
         }
+    }
+
+    #[test]
+    fn fig10_measured_smoke() {
+        // The CI smoke: compress at three budget points. Static-ranked
+        // speedup must land within 10% of profile-ranked at every
+        // point, and the full budget must clear the 1.25x bar.
+        let p = fig10_measured_one("compress", &[0, 4, 16]);
+        let curve = |name: &str| {
+            &p.curves
+                .iter()
+                .find(|c| c.ranking == name)
+                .expect("ranking present")
+                .speedups
+        };
+        let st = curve("static");
+        let pr = curve("profile");
+        assert_eq!(st[0], 1.0, "k=0 is the identity");
+        assert_eq!(pr[0], 1.0, "k=0 is the identity");
+        for (s, p) in st.iter().zip(pr) {
+            assert!(s / p > 0.90, "static {s:.3} vs profile {p:.3}");
+        }
+        assert!(
+            st[2] >= 1.25,
+            "full-budget compress speedup {:.3} below 1.25x",
+            st[2]
+        );
+        // Full budget optimizes every function: the rankings agree.
+        let or = curve("oracle");
+        assert!((st[2] - or[2]).abs() / or[2] < 0.10);
     }
 
     #[test]

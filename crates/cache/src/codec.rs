@@ -43,6 +43,7 @@ const HEADER_LEN: usize = 24;
 
 const TAG_PROFILE: u8 = 1;
 const TAG_BYTECODE_META: u8 = 2;
+const TAG_OPT_PROFILE: u8 = 3;
 
 /// One decoded cache entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +52,10 @@ pub enum Artifact {
     Profile(Profile),
     /// Compiled-bytecode summary statistics.
     BytecodeMeta(BytecodeMeta),
+    /// A profile measured on the *optimized* program (same layout as
+    /// [`Artifact::Profile`], distinct tag so the two artifact kinds
+    /// can never be confused for one another).
+    OptProfile(Profile),
 }
 
 /// Encodes `artifact` as a complete framed entry (header + payload).
@@ -89,44 +94,11 @@ fn encode_payload(artifact: &Artifact) -> Vec<u8> {
     match artifact {
         Artifact::Profile(p) => {
             out.push(TAG_PROFILE);
-            put_len(&mut out, p.block_counts.len());
-            for row in &p.block_counts {
-                put_len(&mut out, row.len());
-                for &c in row {
-                    put_u64(&mut out, c);
-                }
-            }
-            put_len(&mut out, p.branch_counts.len());
-            for &(taken, not_taken) in &p.branch_counts {
-                put_u64(&mut out, taken);
-                put_u64(&mut out, not_taken);
-            }
-            put_len(&mut out, p.call_site_counts.len());
-            for &c in &p.call_site_counts {
-                put_u64(&mut out, c);
-            }
-            put_len(&mut out, p.func_counts.len());
-            for &c in &p.func_counts {
-                put_u64(&mut out, c);
-            }
-            // Canonical order: equal maps must encode identically.
-            let mut edges: Vec<(u32, u32, u32, u64)> = p
-                .edge_counts
-                .iter()
-                .map(|(&(f, from, to), &n)| (f.0, from.0, to.0, n))
-                .collect();
-            edges.sort_unstable();
-            put_len(&mut out, edges.len());
-            for (f, from, to, n) in edges {
-                put_u32(&mut out, f);
-                put_u32(&mut out, from);
-                put_u32(&mut out, to);
-                put_u64(&mut out, n);
-            }
-            put_len(&mut out, p.func_cost.len());
-            for &c in &p.func_cost {
-                put_u64(&mut out, c);
-            }
+            put_profile(&mut out, p);
+        }
+        Artifact::OptProfile(p) => {
+            out.push(TAG_OPT_PROFILE);
+            put_profile(&mut out, p);
         }
         Artifact::BytecodeMeta(m) => {
             out.push(TAG_BYTECODE_META);
@@ -139,33 +111,77 @@ fn encode_payload(artifact: &Artifact) -> Vec<u8> {
     out
 }
 
+fn put_profile(out: &mut Vec<u8>, p: &Profile) {
+    put_len(out, p.block_counts.len());
+    for row in &p.block_counts {
+        put_len(out, row.len());
+        for &c in row {
+            put_u64(out, c);
+        }
+    }
+    put_len(out, p.branch_counts.len());
+    for &(taken, not_taken) in &p.branch_counts {
+        put_u64(out, taken);
+        put_u64(out, not_taken);
+    }
+    put_len(out, p.call_site_counts.len());
+    for &c in &p.call_site_counts {
+        put_u64(out, c);
+    }
+    put_len(out, p.func_counts.len());
+    for &c in &p.func_counts {
+        put_u64(out, c);
+    }
+    // Canonical order: equal maps must encode identically.
+    let mut edges: Vec<(u32, u32, u32, u64)> = p
+        .edge_counts
+        .iter()
+        .map(|(&(f, from, to), &n)| (f.0, from.0, to.0, n))
+        .collect();
+    edges.sort_unstable();
+    put_len(out, edges.len());
+    for (f, from, to, n) in edges {
+        put_u32(out, f);
+        put_u32(out, from);
+        put_u32(out, to);
+        put_u64(out, n);
+    }
+    put_len(out, p.func_cost.len());
+    for &c in &p.func_cost {
+        put_u64(out, c);
+    }
+}
+
+fn read_profile(r: &mut Reader) -> Option<Profile> {
+    let mut p = Profile::default();
+    for _ in 0..r.len()? {
+        let row = (0..r.len()?).map(|_| r.u64()).collect::<Option<_>>()?;
+        p.block_counts.push(row);
+    }
+    for _ in 0..r.len()? {
+        p.branch_counts.push((r.u64()?, r.u64()?));
+    }
+    for _ in 0..r.len()? {
+        p.call_site_counts.push(r.u64()?);
+    }
+    for _ in 0..r.len()? {
+        p.func_counts.push(r.u64()?);
+    }
+    for _ in 0..r.len()? {
+        let key = (FuncId(r.u32()?), BlockId(r.u32()?), BlockId(r.u32()?));
+        p.edge_counts.insert(key, r.u64()?);
+    }
+    for _ in 0..r.len()? {
+        p.func_cost.push(r.u64()?);
+    }
+    Some(p)
+}
+
 fn decode_payload(payload: &[u8]) -> Option<Artifact> {
     let mut r = Reader(payload);
     let artifact = match r.u8()? {
-        TAG_PROFILE => {
-            let mut p = Profile::default();
-            for _ in 0..r.len()? {
-                let row = (0..r.len()?).map(|_| r.u64()).collect::<Option<_>>()?;
-                p.block_counts.push(row);
-            }
-            for _ in 0..r.len()? {
-                p.branch_counts.push((r.u64()?, r.u64()?));
-            }
-            for _ in 0..r.len()? {
-                p.call_site_counts.push(r.u64()?);
-            }
-            for _ in 0..r.len()? {
-                p.func_counts.push(r.u64()?);
-            }
-            for _ in 0..r.len()? {
-                let key = (FuncId(r.u32()?), BlockId(r.u32()?), BlockId(r.u32()?));
-                p.edge_counts.insert(key, r.u64()?);
-            }
-            for _ in 0..r.len()? {
-                p.func_cost.push(r.u64()?);
-            }
-            Artifact::Profile(p)
-        }
+        TAG_PROFILE => Artifact::Profile(read_profile(&mut r)?),
+        TAG_OPT_PROFILE => Artifact::OptProfile(read_profile(&mut r)?),
         TAG_BYTECODE_META => Artifact::BytecodeMeta(BytecodeMeta {
             n_ops: r.u64()?,
             n_funcs: r.u64()?,

@@ -61,8 +61,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bump when the codec layout or key derivation changes; every entry
-/// written under another version silently misses.
-pub const FORMAT_VERSION: u32 = 1;
+/// written under another version silently misses. v2 added the
+/// optimized-run profile kind ([`ArtifactKind::OptProfile`]).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File extension for cache entries.
 const ENTRY_EXT: &str = "sfea";
@@ -82,6 +83,12 @@ pub enum ArtifactKind {
     Profile,
     /// [`BytecodeMeta`] for a compiled program (input-independent).
     BytecodeMeta,
+    /// A [`Profile`] from executing the *optimized* program; its key
+    /// is additionally salted with the optimization level and the
+    /// optimizer's pass-pipeline version (see
+    /// [`ArtifactKey::derive_opt`]), so a different level — or a
+    /// pipeline change — always misses.
+    OptProfile,
 }
 
 impl ArtifactKind {
@@ -89,6 +96,7 @@ impl ArtifactKind {
         match self {
             ArtifactKind::Profile => 1,
             ArtifactKind::BytecodeMeta => 2,
+            ArtifactKind::OptProfile => 3,
         }
     }
 }
@@ -172,6 +180,27 @@ impl ArtifactKey {
         h.update(&config.max_steps.to_le_bytes());
         h.update(&(config.max_call_depth as u64).to_le_bytes());
         h.field(&config.input);
+        ArtifactKey(h.finish())
+    }
+
+    /// The key of an [`ArtifactKind::OptProfile`]: [`ArtifactKey::derive`]
+    /// additionally salted with the optimization level and the
+    /// optimizer's pass-pipeline version, so changing either recomputes.
+    pub fn derive_opt(
+        source: &str,
+        config: &RunConfig,
+        opt_level: u8,
+        pipeline_version: u32,
+    ) -> ArtifactKey {
+        let mut h = Fnv128::new();
+        h.update(&[ArtifactKind::OptProfile.tag()]);
+        h.update(&FORMAT_VERSION.to_le_bytes());
+        h.field(source.as_bytes());
+        h.update(&config.max_steps.to_le_bytes());
+        h.update(&(config.max_call_depth as u64).to_le_bytes());
+        h.field(&config.input);
+        h.update(&[opt_level]);
+        h.update(&pipeline_version.to_le_bytes());
         ArtifactKey(h.finish())
     }
 
@@ -272,7 +301,15 @@ impl Cache {
     pub fn load_profile(&self, key: ArtifactKey) -> Option<Profile> {
         match self.load(key)? {
             codec::Artifact::Profile(p) => Some(p),
-            codec::Artifact::BytecodeMeta(_) => None,
+            _ => None,
+        }
+    }
+
+    /// Convenience: [`Cache::load`] narrowed to optimized-run profiles.
+    pub fn load_opt_profile(&self, key: ArtifactKey) -> Option<Profile> {
+        match self.load(key)? {
+            codec::Artifact::OptProfile(p) => Some(p),
+            _ => None,
         }
     }
 
@@ -390,6 +427,35 @@ mod tests {
             .insert((FuncId(0), BlockId(1), BlockId(2)), seed + 9);
         p.edge_counts.insert((FuncId(1), BlockId(0), BlockId(0)), 3);
         p
+    }
+
+    #[test]
+    fn opt_profile_key_invalidates_on_level_and_pipeline_change() {
+        let cache = Cache::open(temp_dir("optkey")).unwrap();
+        let cfg = RunConfig::with_input("abc");
+        let src = "int main(void){}";
+
+        let k3 = ArtifactKey::derive_opt(src, &cfg, 3, 1);
+        let profile = sample_profile(7);
+        cache.store(k3, &Artifact::OptProfile(profile.clone()));
+        assert_eq!(cache.load_opt_profile(k3).unwrap(), profile);
+
+        // A different opt level misses.
+        let k2 = ArtifactKey::derive_opt(src, &cfg, 2, 1);
+        assert_ne!(k2, k3, "opt level participates in the key");
+        assert_eq!(cache.load_opt_profile(k2), None);
+
+        // A pass-pipeline version bump misses.
+        let k3v2 = ArtifactKey::derive_opt(src, &cfg, 3, 2);
+        assert_ne!(k3v2, k3, "pipeline version participates in the key");
+        assert_eq!(cache.load_opt_profile(k3v2), None);
+
+        // The unoptimized profile kind never aliases the optimized one.
+        let kp = ArtifactKey::derive(ArtifactKind::Profile, src, &cfg);
+        assert_ne!(kp, k3);
+        cache.store(kp, &Artifact::Profile(sample_profile(1)));
+        assert_eq!(cache.load_opt_profile(kp), None, "kinds are disjoint");
+        assert!(cache.load_profile(k3).is_none(), "kinds are disjoint");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! sfe dot       prog.c [func]     # Graphviz CFG (or call graph)
 //! sfe run       prog.c [input]    # run, then compare estimate vs. profile
 //! sfe suite                       # full pipeline over the 14-program suite
+//! sfe fig10    [program]          # measured speedup-vs-budget curves (Fig 10)
 //! sfe pretty    prog.c            # parse + pretty-print
 //! ```
 //!
@@ -23,7 +24,14 @@
 //! --metrics-out <path>  write schema-stable metrics JSON (obs-metrics/v1)
 //! --cache-dir <path>    artifact cache directory (default: ./cache for `suite`)
 //! --no-cache            disable the artifact cache entirely
+//! --opt-level <0..3>    run optimized bytecode (`run`, `suite`); default 0
 //! ```
+//!
+//! `--opt-level` selects the estimator-guided optimizing backend
+//! (crate `opt`): 1 = constant folding + dead-code elimination, 2 = +
+//! superinstruction fusion and hot-path layout, 3 = + frequency-guided
+//! inlining. Frequencies come from the static Markov estimators — no
+//! profile run is needed to build the plan.
 //!
 //! `sfe suite` caches its profiles by default: the first run fills
 //! `./cache` and later runs replay it in tens of milliseconds with
@@ -44,6 +52,7 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<String> = None;
     let mut cache_dir: Option<String> = None;
     let mut no_cache = false;
+    let mut opt_level: u8 = 0;
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
@@ -64,13 +73,20 @@ fn main() -> ExitCode {
                 }
             },
             "--no-cache" => no_cache = true,
+            "--opt-level" => match raw.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n <= 3 => opt_level = n,
+                _ => {
+                    eprintln!("sfe: --opt-level needs a value in 0..=3");
+                    return ExitCode::from(2);
+                }
+            },
             _ => args.push(a),
         }
     }
     if trace || metrics_out.is_some() {
         obs::set_enabled(true);
     }
-    let code = dispatch(&args, cache_dir.as_deref(), no_cache);
+    let code = dispatch(&args, cache_dir.as_deref(), no_cache, opt_level);
     // Spans all closed by now (dispatch returned); flush telemetry.
     if trace || metrics_out.is_some() {
         obs::set_enabled(false);
@@ -88,14 +104,18 @@ fn main() -> ExitCode {
     code
 }
 
-fn dispatch(args: &[String], cache_dir: Option<&str>, no_cache: bool) -> ExitCode {
+fn dispatch(args: &[String], cache_dir: Option<&str>, no_cache: bool, opt_level: u8) -> ExitCode {
     if args.first().map(String::as_str) == Some("suite") {
-        return suite_report(cache_dir, no_cache);
+        return suite_report(cache_dir, no_cache, opt_level);
+    }
+    if args.first().map(String::as_str) == Some("fig10") {
+        return fig10_report(args.get(1).map(String::as_str));
     }
     if args.len() < 2 {
         eprintln!(
             "usage: sfe [--trace] [--metrics-out <path>] [--cache-dir <path>] [--no-cache] \
-             <report|blocks|branches|callsites|dot|run|suite|pretty> [file.c] [arg]"
+             [--opt-level <n>] \
+             <report|blocks|branches|callsites|dot|run|suite|fig10|pretty> [file.c] [arg]"
         );
         return ExitCode::from(2);
     }
@@ -128,7 +148,7 @@ fn dispatch(args: &[String], cache_dir: Option<&str>, no_cache: bool) -> ExitCod
         "branches" => branches(&program, &src),
         "callsites" => callsites(&program, &src),
         "dot" => dot(&program, extra),
-        "run" => run(&program, extra),
+        "run" => run(&program, extra, opt_level),
         other => {
             eprintln!("sfe: unknown command `{other}`");
             ExitCode::from(2)
@@ -290,7 +310,7 @@ fn dot(program: &Program, func: Option<&str>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run(program: &Program, input_path: Option<&str>) -> ExitCode {
+fn run(program: &Program, input_path: Option<&str>, opt_level: u8) -> ExitCode {
     let input = match input_path {
         Some(p) => match std::fs::read(p) {
             Ok(b) => b,
@@ -301,7 +321,17 @@ fn run(program: &Program, input_path: Option<&str>) -> ExitCode {
         },
         None => Vec::new(),
     };
-    let out = match profiler::run(program, &profiler::RunConfig::with_input(input)) {
+    let config = profiler::RunConfig::with_input(input);
+    let compiled = profiler::compile(program);
+    let (compiled, stats) = if opt_level > 0 {
+        let ranking = estimators::ranking::StaticRanking::new(program);
+        let plan = bench::plan_from_ranking(&ranking, &compiled, opt_level, compiled.funcs.len());
+        let (ocp, stats) = opt::optimize(&compiled, &plan);
+        (ocp, Some(stats))
+    } else {
+        (compiled, None)
+    };
+    let out = match compiled.execute(&config) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("sfe: runtime error: {e}");
@@ -310,6 +340,12 @@ fn run(program: &Program, input_path: Option<&str>) -> ExitCode {
     };
     print!("{}", out.stdout());
     eprintln!("[exit {} after {} steps]", out.exit_code, out.steps);
+    if let Some(stats) = stats {
+        eprintln!(
+            "[-O{opt_level}: {} inlined, {} folded, {} blocks dropped, {} fused]",
+            stats.inlined_calls, stats.folded, stats.dce_blocks, stats.fused
+        );
+    }
 
     // Estimate-vs-actual summary.
     let ia = intra::estimate_program(program, intra::IntraEstimator::Smart);
@@ -344,7 +380,7 @@ fn run(program: &Program, input_path: Option<&str>) -> ExitCode {
 /// `./cache`, override with `--cache-dir`, disable with `--no-cache`);
 /// an unopenable cache degrades to uncached execution with a warning,
 /// never a failure.
-fn suite_report(cache_dir: Option<&str>, no_cache: bool) -> ExitCode {
+fn suite_report(cache_dir: Option<&str>, no_cache: bool, opt_level: u8) -> ExitCode {
     let cache = if no_cache {
         None
     } else {
@@ -357,7 +393,11 @@ fn suite_report(cache_dir: Option<&str>, no_cache: bool) -> ExitCode {
             }
         }
     };
-    let data = bench::load_suite_with(pool::global(), cache.as_ref());
+    let data = if opt_level > 0 {
+        bench::load_suite_opt(pool::global(), cache.as_ref(), opt_level)
+    } else {
+        bench::load_suite_with(pool::global(), cache.as_ref())
+    };
     println!(
         "{:<12} {:>8} {:>8} {:>12}  {:>6} {:>6}",
         "program", "funcs", "blocks", "steps", "inv@25", "cs@25"
@@ -377,6 +417,64 @@ fn suite_report(cache_dir: Option<&str>, no_cache: bool) -> ExitCode {
             steps,
             scores.invocation_markov_25[1] * 100.0,
             scores.callsites[1] * 100.0,
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `sfe fig10 [program]`: the measured Figure 10 experiment — optimize
+/// the top-k functions under each ranking provider and report the VM
+/// steps actually saved on a held-out input.
+fn fig10_report(which: Option<&str>) -> ExitCode {
+    let names: Vec<&'static str> = match which {
+        None => bench::FIG10_PROGRAMS.to_vec(),
+        Some(name) => match bench::FIG10_PROGRAMS.iter().find(|&&p| p == name) {
+            Some(&p) => vec![p],
+            None => {
+                eprintln!(
+                    "sfe: fig10 runs on {}; got `{name}`",
+                    bench::FIG10_PROGRAMS.join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
+    println!("Figure 10 (measured): speedup vs optimization budget, -O3, held-out input");
+    for name in names {
+        let n = suite::by_name(name)
+            .expect("fig10 program in suite")
+            .compile()
+            .expect("suite program compiles")
+            .defined_ids()
+            .len();
+        let ks: Vec<usize> = (0..=6).chain([n]).collect();
+        let p = bench::fig10_measured_one(name, &ks);
+        println!();
+        println!(
+            "{} (baseline {} steps on held-out input)",
+            p.name, p.baseline_steps
+        );
+        print!("  {:<10}", "k");
+        for k in &p.ks {
+            print!(" {k:>7}");
+        }
+        println!();
+        for c in &p.curves {
+            print!("  {:<10}", c.ranking);
+            for v in &c.speedups {
+                print!(" {v:>7.3}");
+            }
+            println!();
+        }
+        print!("  {:<10}", "wall ms");
+        let static_curve = &p.curves[0];
+        for w in &static_curve.wall_ms {
+            print!(" {w:>7.2}");
+        }
+        println!("  (static-ranked runs)");
+        println!(
+            "  static rank order: {}",
+            p.static_order[..p.static_order.len().min(6)].join(", ")
         );
     }
     ExitCode::SUCCESS

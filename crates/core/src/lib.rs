@@ -59,6 +59,7 @@ pub mod inter;
 pub mod intra;
 pub mod metric;
 pub mod missrate;
+pub mod ranking;
 pub mod tripcount;
 
 pub use branch::{predict_module, Heuristic, Prediction};

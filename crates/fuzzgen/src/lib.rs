@@ -15,7 +15,7 @@
 //!   short-circuit `&&`/`||`, ternary, `char`/`float` arithmetic).
 //!   Generated programs terminate and are fully defined *by
 //!   construction*, so every oracle disagreement is a genuine bug.
-//! - [`oracle`] — the five differential checks ([`check_source`]).
+//! - [`oracle`] — the six differential checks ([`check_source`]).
 //! - [`minimize`] — IR-level shrinking that preserves the failing
 //!   oracle, used by both the CLI (`--minimize`) and the proptest
 //!   target (the vendored proptest cannot shrink).
@@ -26,7 +26,7 @@
 //! let prog = fuzzgen::generate(42);
 //! let src = prog.render();
 //! fuzzgen::check_source(&src, &fuzzgen::CheckConfig::default())
-//!     .expect("seed 42 passes all five oracles");
+//!     .expect("seed 42 passes all six oracles");
 //! ```
 //!
 //! The `fuzzgen` binary drives the same path from the command line; see
@@ -42,7 +42,7 @@ pub use gen::{generate, generate_with, GenConfig, Prog};
 pub use minimize::minimize;
 pub use oracle::{check_source, CheckConfig, CheckStats, Failure, FailureKind};
 
-/// Generates the program for `seed` and runs all five oracles on it.
+/// Generates the program for `seed` and runs all six oracles on it.
 ///
 /// # Errors
 ///

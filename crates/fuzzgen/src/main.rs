@@ -4,7 +4,7 @@
 //! fuzzgen [--seed N] [--count M] [--minimize] [--out DIR] [--emit N] [--quiet]
 //! ```
 //!
-//! Runs seeds `N, N+1, …, N+M-1` through the five differential oracles
+//! Runs seeds `N, N+1, …, N+M-1` through the six differential oracles
 //! and reports every failure with its one-line reproduction recipe.
 //! With `--minimize`, each failing program is shrunk (preserving the
 //! failing oracle) and written to `DIR` (default `tests/corpus/`) next
@@ -107,7 +107,7 @@ fn main() -> ExitCode {
     }
     if failures == 0 {
         println!(
-            "{} seeds ({}..{}) passed all five oracles: {} interpreter steps, {} CFG blocks",
+            "{} seeds ({}..{}) passed all six oracles: {} interpreter steps, {} CFG blocks",
             opts.count,
             opts.seed,
             opts.seed + opts.count - 1,

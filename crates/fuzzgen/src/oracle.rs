@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! [`check_source`] runs one MiniC program through five independent
+//! [`check_source`] runs one MiniC program through six independent
 //! cross-checks; any disagreement is a bug in (at least) one of the
 //! crates under test:
 //!
@@ -25,6 +25,12 @@
 //!    consistent with function invocation counts.
 //! 5. **Estimator sanity** — every intra and inter estimator must
 //!    produce finite, non-negative, run-to-run deterministic estimates.
+//! 6. **Optimizer equivalence** — the program optimized at `-O3` with
+//!    every function budgeted must produce the same exit code, output
+//!    bytes, and *count* profile counters (blocks, edges, branches,
+//!    call sites, function entries) as the unoptimized VM. Only
+//!    `steps` and `func_cost` — the quantities the optimizer exists to
+//!    change — are excluded.
 
 use flowgraph::{Program, Terminator};
 use linsolve::FlowSystem;
@@ -67,6 +73,9 @@ pub enum FailureKind {
     /// Oracle 5: estimator produced NaN/∞/negative or non-deterministic
     /// output.
     Estimator,
+    /// Oracle 6: the optimized program diverged from the unoptimized
+    /// VM (output, exit state, or a count profile counter).
+    OptMismatch,
     /// The program faulted at runtime (generated programs are total by
     /// construction, so this is a generator or interpreter bug).
     Runtime,
@@ -81,6 +90,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::SolverMismatch => "solver-mismatch",
             FailureKind::Invariant => "invariant",
             FailureKind::Estimator => "estimator",
+            FailureKind::OptMismatch => "opt-mismatch",
             FailureKind::Runtime => "runtime",
         };
         f.write_str(s)
@@ -151,6 +161,9 @@ pub fn check_source(src: &str, config: &CheckConfig) -> Result<CheckStats, Failu
 
     // Oracle 5: estimator sanity.
     estimator_sanity(&program)?;
+
+    // Oracle 6: the optimizing backend against the unoptimized run.
+    optimizer_equivalence(&program, &vm, &run_config)?;
 
     Ok(CheckStats {
         steps: vm.steps,
@@ -551,6 +564,99 @@ fn solver_agreement(program: &Program) -> Result<(), Failure> {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Oracle 6: optimizer equivalence
+// ---------------------------------------------------------------------
+
+/// Optimizes at `-O3` with every function budgeted (the most
+/// aggressive configuration the pipeline supports) and demands
+/// byte-identical behavior. Count counters are compared individually;
+/// `steps` and `func_cost` are the optimizer's outputs and are
+/// intentionally excluded.
+fn optimizer_equivalence(
+    program: &Program,
+    vm: &RunOutcome,
+    run_config: &RunConfig,
+) -> Result<(), Failure> {
+    let cp = profiler::compile(program);
+    let plan = opt::OptPlan::full(&cp, 3);
+    let (ocp, _stats) = opt::optimize(&cp, &plan);
+    // Recosting changes the step count, so a run near the limit could
+    // cross it in either direction; 4x headroom keeps the oracle about
+    // semantics (the unoptimized run completed well under the limit).
+    let opt_config = RunConfig {
+        max_steps: run_config.max_steps.saturating_mul(4),
+        ..run_config.clone()
+    };
+    let out = ocp.execute(&opt_config).map_err(|e| {
+        Failure::new(
+            FailureKind::OptMismatch,
+            format!("optimized program faults: {e:?}"),
+        )
+    })?;
+    if out.exit_code != vm.exit_code {
+        return Err(Failure::new(
+            FailureKind::OptMismatch,
+            format!("exit code: opt {} vs vm {}", out.exit_code, vm.exit_code),
+        ));
+    }
+    if out.output != vm.output {
+        return Err(Failure::new(
+            FailureKind::OptMismatch,
+            format!(
+                "output: opt {:?} vs vm {:?}",
+                String::from_utf8_lossy(&out.output),
+                String::from_utf8_lossy(&vm.output)
+            ),
+        ));
+    }
+    let opt_p = &out.profile;
+    let vm_p = &vm.profile;
+    if opt_p.block_counts != vm_p.block_counts {
+        return Err(Failure::new(
+            FailureKind::OptMismatch,
+            format!(
+                "block counts: opt {:?} vs vm {:?}",
+                opt_p.block_counts, vm_p.block_counts
+            ),
+        ));
+    }
+    if opt_p.branch_counts != vm_p.branch_counts {
+        return Err(Failure::new(
+            FailureKind::OptMismatch,
+            format!(
+                "branch counts: opt {:?} vs vm {:?}",
+                opt_p.branch_counts, vm_p.branch_counts
+            ),
+        ));
+    }
+    if opt_p.call_site_counts != vm_p.call_site_counts {
+        return Err(Failure::new(
+            FailureKind::OptMismatch,
+            format!(
+                "call-site counts: opt {:?} vs vm {:?}",
+                opt_p.call_site_counts, vm_p.call_site_counts
+            ),
+        ));
+    }
+    if opt_p.func_counts != vm_p.func_counts {
+        return Err(Failure::new(
+            FailureKind::OptMismatch,
+            format!(
+                "func counts: opt {:?} vs vm {:?}",
+                opt_p.func_counts, vm_p.func_counts
+            ),
+        ));
+    }
+    if opt_p.edge_counts != vm_p.edge_counts {
+        return Err(Failure::new(
+            FailureKind::OptMismatch,
+            "edge counts differ".to_string(),
+        ));
     }
     Ok(())
 }

@@ -1,0 +1,232 @@
+//! Frequency-guided function inlining by chunk splicing.
+//!
+//! An inlined call replicates `enter()`/`Ret` inline: the callee's
+//! frame is bump-allocated at the end of the caller's (so the caller's
+//! single frame allocation covers it), its registers are rebased onto
+//! the call's destination window (compiler invariant: `argbase == dst`
+//! and every register at or above `dst` is dead after the call), and
+//! its original chunks are spliced in with `Ret` rewritten to a move
+//! plus a jump to the split-off continuation. A zero-cost
+//! [`Op::BumpFunc`] replicates the function-entry counter bumps and a
+//! `ZeroLocal` replicates the per-call frame zero-fill, so every
+//! *count* profile counter stays byte-identical; only `CALL_COST`
+//! attribution (`func_cost`) and step accounting change.
+//!
+//! Candidates are restricted to callees that never materialize a
+//! frame address (`LeaLocal` and friends): their locals are only ever
+//! touched via direct slot ops, so merging their frame into the
+//! caller's cannot change what any runtime pointer observes.
+
+use crate::ir::{lift, CallSite, FuncIr};
+use crate::ops_info;
+use profiler::bytecode::{CompiledProgram, Op, ParamBind, SwitchTable, NONE32};
+
+/// Upper bound on callee size (ops) for inlining.
+pub const MAX_INLINE_OPS: u32 = 96;
+
+/// Why a call site cannot be inlined (or `None` if it can).
+fn reject(cp: &CompiledProgram, caller: usize, site: &CallSite) -> bool {
+    let callee = &cp.funcs[site.callee as usize];
+    let (start, end) = callee.code;
+    if callee.entry == NONE32 || site.callee as usize == caller || end - start > MAX_INLINE_OPS {
+        return true;
+    }
+    if !callee
+        .params
+        .iter()
+        .all(|p| matches!(p, ParamBind::Scalar { .. }))
+    {
+        return true;
+    }
+    // No frame addresses: a callee that takes the address of a local
+    // (directly or through a local-array op) must keep its own frame,
+    // or pointer aliasing could observe the merged layout.
+    cp.ops[start as usize..end as usize].iter().any(|op| {
+        matches!(
+            op,
+            Op::LeaLocal { .. }
+                | Op::IndexAddrLeaL { .. }
+                | Op::LoadIdxLeaL { .. }
+                | Op::InitWordsLocal { .. }
+        )
+    })
+}
+
+/// The result of one successful splice, for call-site fixups.
+pub struct Spliced {
+    /// Chunk holding the caller ops after the call.
+    pub post_chunk: u32,
+    /// Ops added to the caller (code growth).
+    pub growth: u32,
+}
+
+/// Conservative pre-splice growth estimate, for budget checks.
+pub fn growth_estimate(cp: &CompiledProgram, site: &CallSite) -> u32 {
+    let callee = &cp.funcs[site.callee as usize];
+    let (start, end) = callee.code;
+    end - start + callee.params.len() as u32 + 4
+}
+
+/// Whether `site` can be inlined into `caller` at all (size, shape,
+/// and register-window checks; the budget is the caller's concern).
+pub fn can_inline(cp: &CompiledProgram, ir: &FuncIr, site: &CallSite) -> bool {
+    if reject(cp, ir.fid, site) {
+        return false;
+    }
+    let Op::CallDirect {
+        func, argbase, dst, ..
+    } = ir.chunks[site.chunk as usize].ops[site.idx as usize]
+    else {
+        return false;
+    };
+    debug_assert_eq!(func, site.callee);
+    if argbase != dst {
+        // The splice relies on the compiler's argbase == dst layout
+        // (arguments live at the destination window).
+        return false;
+    }
+    let callee = &cp.funcs[site.callee as usize];
+    // The rebased callee window must stay within u16 registers.
+    (dst as u32 + callee.max_regs) <= u16::MAX as u32
+}
+
+/// Splices `site`'s callee into the caller. The caller must have
+/// checked [`can_inline`] first.
+pub fn inline_site(ir: &mut FuncIr, cp: &CompiledProgram, site: &CallSite) -> Spliced {
+    let Op::CallDirect { dst: rb, nargs, .. } =
+        ir.chunks[site.chunk as usize].ops[site.idx as usize]
+    else {
+        unreachable!("call site coordinates went stale");
+    };
+    let callee_fid = site.callee as usize;
+    let callee = &cp.funcs[callee_fid];
+    let fb = ir.frame_size;
+    ir.frame_size += callee.frame_size;
+    ir.max_regs = ir.max_regs.max(rb as u32 + callee.max_regs);
+
+    let body = lift(cp, callee_fid, &[]);
+    let base = ir.chunks.len() as u32;
+    let table_base = ir.tables.len() as u32;
+    let post_chunk = base + body.chunks.len() as u32;
+    let site_freq = ir.chunks[site.chunk as usize].freq;
+    let mut growth = 0u32;
+
+    // Split the calling chunk: the continuation becomes its own chunk.
+    let caller_chunk = &mut ir.chunks[site.chunk as usize];
+    let post_ops = caller_chunk.ops.split_off(site.idx as usize + 1);
+    caller_chunk.ops.pop(); // the CallDirect itself
+
+    // Prologue: zero the callee frame region (enter() zero-fills on
+    // every call — the body may run many times), bump the entry
+    // counters, bind parameters. `StoreLocal`'s register write-back
+    // clobbers the argument register with the converted value, which
+    // is fine: registers at or above `rb` are dead in the caller.
+    if callee.frame_size > 0 {
+        caller_chunk.ops.push(Op::ZeroLocal {
+            off: fb,
+            len: callee.frame_size,
+        });
+    }
+    caller_chunk.ops.push(Op::BumpFunc(site.callee));
+    for (i, p) in callee
+        .params
+        .iter()
+        .enumerate()
+        .take((nargs as usize).min(callee.params.len()))
+    {
+        let ParamBind::Scalar { off, class } = *p else {
+            unreachable!("can_inline requires scalar params");
+        };
+        caller_chunk.ops.push(Op::StoreLocal {
+            off: off + fb,
+            src: rb + i as u16,
+            class,
+            dst: rb + i as u16,
+        });
+    }
+    caller_chunk.ops.push(Op::Jump {
+        target: base + body.entry,
+        tick: 0,
+    });
+    growth += caller_chunk.ops.len() as u32 - site.idx - 1;
+
+    // Splice the callee body, rebased and retargeted.
+    for chunk in body.chunks {
+        let mut ops = Vec::with_capacity(chunk.ops.len() + 1);
+        for op in chunk.ops {
+            let mut op = op;
+            ops_info::rebase_regs(&mut op, rb);
+            ops_info::rebase_frame(&mut op, fb);
+            ops_info::for_each_target(&mut op, |t| *t += base);
+            if let Op::SwitchJump { table, .. } = &mut op {
+                *table += table_base;
+            }
+            if let Op::Ret { src, .. } = op {
+                // `Ret` writes the call destination and resumes the
+                // caller; the frame shrink is the caller's eventual
+                // `Ret`'s job now.
+                if src != rb {
+                    ops.push(Op::Mov { dst: rb, src });
+                }
+                ops.push(Op::Jump {
+                    target: post_chunk,
+                    tick: 0,
+                });
+            } else {
+                ops.push(op);
+            }
+        }
+        growth += ops.len() as u32;
+        ir.chunks.push(crate::ir::Chunk {
+            start_pc: NONE32,
+            ops,
+            freq: site_freq,
+            dead: false,
+        });
+    }
+    for table in body.tables {
+        let mut table = table;
+        retarget(&mut table, base);
+        ir.tables.push(table);
+    }
+
+    // The continuation chunk.
+    ir.chunks.push(crate::ir::Chunk {
+        start_pc: NONE32,
+        ops: post_ops,
+        freq: site_freq,
+        dead: false,
+    });
+
+    // Keep emission order local: caller chunk, body, continuation.
+    let pos = ir
+        .order
+        .iter()
+        .position(|&c| c == site.chunk)
+        .expect("calling chunk is live");
+    ir.order
+        .splice(pos + 1..pos + 1, (base..=post_chunk).collect::<Vec<_>>());
+
+    Spliced { post_chunk, growth }
+}
+
+fn retarget(table: &mut SwitchTable, base: u32) {
+    match table {
+        SwitchTable::Dense {
+            targets, default, ..
+        } => {
+            for t in targets.iter_mut().filter(|t| **t != NONE32) {
+                *t += base;
+            }
+            *default += base;
+        }
+        SwitchTable::Sorted {
+            targets, default, ..
+        } => {
+            for t in targets.iter_mut() {
+                *t += base;
+            }
+            *default += base;
+        }
+    }
+}

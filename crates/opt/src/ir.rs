@@ -1,0 +1,335 @@
+//! The optimizer's chunk IR: lifting a function's contiguous op range
+//! into relocatable straight-line chunks, and lowering the whole
+//! program back to one flat stream.
+//!
+//! A *chunk* is a maximal straight-line run of ops: it starts at a
+//! jump target (or the op after an unconditional transfer) and ends
+//! with an unconditional transfer — lifting appends an explicit
+//! `Jump { tick: 0 }` where the original code fell through, so chunks
+//! can be reordered, spliced, and dropped freely. Inside the IR every
+//! jump-target field holds a `ChunkId` (an index into
+//! [`FuncIr::chunks`]); switch tables are cloned per function with
+//! `ChunkId` targets. Lowering emits chunks in [`FuncIr::order`],
+//! patches targets back to absolute pcs, and rebuilds the side tables.
+//!
+//! Functions outside the optimization budget are copied verbatim with
+//! their jump targets shifted by the relocation delta, so an optimized
+//! program always contains every function.
+
+use crate::ops_info;
+use profiler::bytecode::{CompiledProgram, FuncMeta, Op, SwitchTable, NONE32};
+
+/// One straight-line run of ops, relocatable as a unit.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    /// Original pc of the first op (`NONE32` for synthesized chunks);
+    /// used to map the chunk back to its flowgraph block.
+    pub start_pc: u32,
+    /// The ops; jump-target fields hold `ChunkId`s.
+    pub ops: Vec<Op>,
+    /// Estimated (or measured) executions per program run.
+    pub freq: f64,
+    /// Unreachable — skipped at lowering.
+    pub dead: bool,
+}
+
+/// A direct-call site found during lifting, for the inliner.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Containing chunk.
+    pub chunk: u32,
+    /// Op index of the `CallDirect` within the chunk.
+    pub idx: u32,
+    /// The call-site counter index (`CallSiteId`), or `NONE32` when
+    /// the pairing scan could not attribute one.
+    pub site: u32,
+    /// Callee `FuncId`.
+    pub callee: u32,
+}
+
+/// One function lifted to chunks.
+#[derive(Debug)]
+pub struct FuncIr {
+    /// The function's id.
+    pub fid: usize,
+    /// All chunks; indexed by `ChunkId`.
+    pub chunks: Vec<Chunk>,
+    /// Entry `ChunkId`.
+    pub entry: u32,
+    /// Emission order (live chunks only after layout/DCE prune it).
+    pub order: Vec<u32>,
+    /// Per-function switch tables with `ChunkId` targets.
+    pub tables: Vec<SwitchTable>,
+    /// Frame size in words (grows under inlining).
+    pub frame_size: u32,
+    /// Register-window size (grows under inlining).
+    pub max_regs: u32,
+    /// Direct-call sites eligible for inlining, in op order.
+    pub call_sites: Vec<CallSite>,
+}
+
+/// Lifts one function into chunk IR. `block_freqs` is the function's
+/// per-block frequency vector (estimated or measured); pass `&[]` for
+/// an all-zero profile.
+pub fn lift(cp: &CompiledProgram, fid: usize, block_freqs: &[f64]) -> FuncIr {
+    let meta = &cp.funcs[fid];
+    let (start, end) = meta.code;
+    debug_assert_ne!(meta.entry, NONE32, "lifting a bodiless prototype");
+
+    // Leaders: the range start, every jump target, and the op after
+    // every unconditional transfer.
+    let mut leaders = vec![start, meta.entry];
+    for pc in start..end {
+        let op = &cp.ops[pc as usize];
+        for t in ops_info::targets(op) {
+            leaders.push(t);
+        }
+        if let Op::SwitchJump { table, .. } = op {
+            push_table_targets(&cp.switch_tables[*table as usize], &mut leaders);
+        }
+        if ops_info::is_terminator(op) && pc + 1 < end {
+            leaders.push(pc + 1);
+        }
+    }
+    leaders.sort_unstable();
+    leaders.dedup();
+    debug_assert!(leaders.iter().all(|&pc| pc >= start && pc < end));
+    let chunk_of = |pc: u32| -> u32 {
+        debug_assert!(leaders.binary_search(&pc).is_ok(), "jump into mid-chunk");
+        leaders.partition_point(|&l| l <= pc) as u32 - 1
+    };
+
+    // Pair each call op with its `BumpSite`: the compiler emits the
+    // site bump before the arguments and the call after them, so
+    // pushes and pops nest in layout order. (Used only to *rank*
+    // sites; the counters themselves are never touched.)
+    let mut site_stack = Vec::new();
+    let mut site_of_pc = vec![NONE32; (end - start) as usize];
+    for pc in start..end {
+        match cp.ops[pc as usize] {
+            Op::BumpSite(s) => site_stack.push(s),
+            Op::CallDirect { .. } => {
+                site_of_pc[(pc - start) as usize] = site_stack.pop().unwrap_or(NONE32);
+            }
+            Op::CallIndirect { .. } | Op::CallBuiltin { .. } => {
+                site_stack.pop();
+            }
+            _ => {}
+        }
+    }
+
+    let mut chunks = Vec::with_capacity(leaders.len());
+    let mut tables = Vec::new();
+    let mut call_sites = Vec::new();
+    for (i, &lead) in leaders.iter().enumerate() {
+        let chunk_end = leaders.get(i + 1).copied().unwrap_or(end);
+        let mut ops = Vec::with_capacity((chunk_end - lead + 1) as usize);
+        for pc in lead..chunk_end {
+            let mut op = cp.ops[pc as usize];
+            ops_info::for_each_target(&mut op, |t| *t = chunk_of(*t));
+            if let Op::SwitchJump { table, .. } = &mut op {
+                let mut t = cp.switch_tables[*table as usize].clone();
+                retarget_table(&mut t, &chunk_of);
+                *table = tables.len() as u32;
+                tables.push(t);
+            }
+            if let Op::CallDirect { func, .. } = op {
+                call_sites.push(CallSite {
+                    chunk: i as u32,
+                    idx: ops.len() as u32,
+                    site: site_of_pc[(pc - start) as usize],
+                    callee: func,
+                });
+            }
+            ops.push(op);
+        }
+        // Materialize the fallthrough so chunk order is semantically
+        // free; a zero tick keeps the step count unchanged.
+        if !ops.last().is_some_and(ops_info::is_terminator) {
+            debug_assert!(i + 1 < leaders.len(), "function falls off its end");
+            ops.push(Op::Jump {
+                target: i as u32 + 1,
+                tick: 0,
+            });
+        }
+        let freq = block_of_pc(&meta.block_pc, lead)
+            .and_then(|b| block_freqs.get(b).copied())
+            .unwrap_or(0.0);
+        chunks.push(Chunk {
+            start_pc: lead,
+            ops,
+            freq,
+            dead: false,
+        });
+    }
+
+    let order = (0..chunks.len() as u32).collect();
+    FuncIr {
+        fid,
+        entry: chunk_of(meta.entry),
+        chunks,
+        order,
+        tables,
+        frame_size: meta.frame_size,
+        max_regs: meta.max_regs,
+        call_sites,
+    }
+}
+
+/// The flowgraph block containing `pc`, from the function's sorted
+/// per-block start pcs.
+pub fn block_of_pc(block_pc: &[u32], pc: u32) -> Option<usize> {
+    let i = block_pc.partition_point(|&p| p <= pc);
+    i.checked_sub(1)
+}
+
+fn push_table_targets(table: &SwitchTable, out: &mut Vec<u32>) {
+    match table {
+        SwitchTable::Dense {
+            targets, default, ..
+        } => {
+            out.extend(targets.iter().copied().filter(|&t| t != NONE32));
+            out.push(*default);
+        }
+        SwitchTable::Sorted {
+            targets, default, ..
+        } => {
+            out.extend(targets.iter().copied());
+            out.push(*default);
+        }
+    }
+}
+
+/// Rewrites every jump target of a switch table (the Dense `NONE32`
+/// hole meaning "default" is preserved).
+fn retarget_table(table: &mut SwitchTable, mut f: impl FnMut(u32) -> u32) {
+    match table {
+        SwitchTable::Dense {
+            targets, default, ..
+        } => {
+            for t in targets.iter_mut().filter(|t| **t != NONE32) {
+                *t = f(*t);
+            }
+            *default = f(*default);
+        }
+        SwitchTable::Sorted {
+            targets, default, ..
+        } => {
+            for t in targets.iter_mut() {
+                *t = f(*t);
+            }
+            *default = f(*default);
+        }
+    }
+}
+
+/// Drops a trailing `Jump` whose target is the next chunk in emission
+/// order (the jump becomes an implicit fallthrough). Ticks carried by
+/// dropped jumps are re-derived by recosting, which always follows.
+pub fn drop_redundant_jumps(ir: &mut FuncIr) {
+    for w in 0..ir.order.len() {
+        let id = ir.order[w] as usize;
+        let next = ir.order.get(w + 1).copied();
+        if let Some(Op::Jump { target, .. }) = ir.chunks[id].ops.last() {
+            if Some(*target) == next && ir.chunks[id].ops.len() > 1 {
+                ir.chunks[id].ops.pop();
+            }
+        }
+    }
+}
+
+/// Lowers the whole program back to a flat op stream. `irs` holds the
+/// transformed IR for budgeted functions (`None` entries are copied
+/// verbatim, relocated).
+pub fn lower(cp: &CompiledProgram, irs: &[Option<FuncIr>]) -> CompiledProgram {
+    let mut ops = Vec::with_capacity(cp.ops.len());
+    let mut switch_tables = Vec::with_capacity(cp.switch_tables.len());
+    let mut funcs = Vec::with_capacity(cp.funcs.len());
+
+    for (fid, meta) in cp.funcs.iter().enumerate() {
+        let new_start = ops.len() as u32;
+        let (start, end) = meta.code;
+        match &irs[fid] {
+            None => {
+                // Verbatim copy, shifted by the relocation delta.
+                let delta = new_start.wrapping_sub(start);
+                for pc in start..end {
+                    let mut op = cp.ops[pc as usize];
+                    ops_info::for_each_target(&mut op, |t| *t = t.wrapping_add(delta));
+                    if let Op::SwitchJump { table, .. } = &mut op {
+                        let mut t = cp.switch_tables[*table as usize].clone();
+                        retarget_table(&mut t, |pc| pc.wrapping_add(delta));
+                        *table = switch_tables.len() as u32;
+                        switch_tables.push(t);
+                    }
+                    ops.push(op);
+                }
+                funcs.push(FuncMeta {
+                    entry: if meta.entry == NONE32 {
+                        NONE32
+                    } else {
+                        meta.entry.wrapping_add(delta)
+                    },
+                    code: (new_start, ops.len() as u32),
+                    block_pc: meta
+                        .block_pc
+                        .iter()
+                        .map(|p| p.wrapping_add(delta))
+                        .collect(),
+                    ..meta.clone()
+                });
+            }
+            Some(ir) => {
+                // Chunk start pcs, in emission order.
+                let mut chunk_pc = vec![NONE32; ir.chunks.len()];
+                let mut at = new_start;
+                for &id in &ir.order {
+                    debug_assert!(!ir.chunks[id as usize].dead);
+                    chunk_pc[id as usize] = at;
+                    at += ir.chunks[id as usize].ops.len() as u32;
+                }
+                for &id in &ir.order {
+                    for op in &ir.chunks[id as usize].ops {
+                        let mut op = *op;
+                        ops_info::for_each_target(&mut op, |t| {
+                            debug_assert_ne!(chunk_pc[*t as usize], NONE32, "jump to dead chunk");
+                            *t = chunk_pc[*t as usize];
+                        });
+                        if let Op::SwitchJump { table, .. } = &mut op {
+                            let mut t = ir.tables[*table as usize].clone();
+                            retarget_table(&mut t, |c| chunk_pc[c as usize]);
+                            *table = switch_tables.len() as u32;
+                            switch_tables.push(t);
+                        }
+                        ops.push(op);
+                    }
+                }
+                funcs.push(FuncMeta {
+                    entry: chunk_pc[ir.entry as usize],
+                    code: (new_start, ops.len() as u32),
+                    // Optimized functions are not re-liftable; the
+                    // block map is only meaningful for original code.
+                    block_pc: Vec::new(),
+                    frame_size: ir.frame_size,
+                    max_regs: ir.max_regs,
+                    ..meta.clone()
+                });
+            }
+        }
+    }
+
+    CompiledProgram {
+        ops,
+        funcs,
+        switch_tables,
+        main: cp.main,
+        images: cp.images.clone(),
+        fails: cp.fails.clone(),
+        data_image: cp.data_image.clone(),
+        block_base: cp.block_base.clone(),
+        block_lens: cp.block_lens.clone(),
+        edge_keys: cp.edge_keys.clone(),
+        n_branches: cp.n_branches,
+        n_sites: cp.n_sites,
+    }
+}

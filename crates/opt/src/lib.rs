@@ -1,0 +1,213 @@
+//! Estimator-guided optimizing backend for the bytecode VM.
+//!
+//! The paper's Fig 10 experiment recompiles a program's functions in
+//! estimated-hotness order and measures the speedup after each
+//! increment. This crate is the "recompile" half: it lifts compiled
+//! bytecode into a chunk IR ([`ir`]), runs a classic scalar pipeline
+//! over the functions selected by an [`OptPlan`] — inlining, constant
+//! folding and branch simplification, dead-code elimination,
+//! superinstruction fusion, hot-path layout ([`passes`],
+//! [`inline`]) — and recosts the result under a dispatch-cost model so
+//! the VM's `steps` counter measures what the optimizer saved.
+//!
+//! The contract with the unoptimized program is exact: byte-identical
+//! output, exit state, and *count* profile counters (blocks, edges,
+//! branches, call sites, function entries). Only `steps` and
+//! `func_cost` — the quantities being optimized — change. The fuzzer's
+//! differential oracle holds every optimized program to that contract.
+//!
+//! Pass order: inline → fold → dce → fuse → layout → recost → lower.
+//! Inlining first exposes the callee body to the caller's folding;
+//! layout runs before recost so dropped fallthrough jumps are never
+//! charged; recost runs last over the final op sequence.
+
+#![warn(missing_docs)]
+
+pub mod inline;
+pub mod ir;
+pub mod ops_info;
+pub mod passes;
+
+use profiler::bytecode::{CompiledProgram, NONE32};
+
+/// Version of the pass pipeline, part of every optimized-artifact
+/// cache key: bump when a pass changes observable shape or costs.
+pub const PASS_PIPELINE_VERSION: u32 = 1;
+
+/// What to optimize and how hard — produced by a ranking provider
+/// (static estimates, measured profiles, or the held-out oracle).
+#[derive(Debug, Clone)]
+pub struct OptPlan {
+    /// Optimization level: 0 = identity, 1 = fold + branch
+    /// simplification + DCE + recost, 2 = + fusion + layout,
+    /// 3 = + inlining.
+    pub level: u8,
+    /// Per-`FuncId` budget membership: only these functions are
+    /// transformed (the rest are relocated verbatim).
+    pub budgeted: Vec<bool>,
+    /// Per-function, per-block execution frequencies (estimated or
+    /// measured, whole-run scale). Empty vectors mean "unknown".
+    pub block_freqs: Vec<Vec<f64>>,
+    /// Per-call-site execution frequencies, indexed by `CallSiteId`.
+    pub site_freqs: Vec<f64>,
+    /// Global code-growth budget for inlining, in ops.
+    pub inline_budget: u32,
+}
+
+impl OptPlan {
+    /// A plan that optimizes every defined function at `level`, with
+    /// no frequency information (all chunks equally hot).
+    pub fn full(cp: &CompiledProgram, level: u8) -> OptPlan {
+        OptPlan {
+            level,
+            budgeted: cp.funcs.iter().map(|f| f.entry != NONE32).collect(),
+            block_freqs: vec![Vec::new(); cp.funcs.len()],
+            site_freqs: vec![0.0; cp.n_sites],
+            inline_budget: default_inline_budget(cp),
+        }
+    }
+}
+
+/// The default global inlining budget: a quarter of the program's
+/// original code size.
+pub fn default_inline_budget(cp: &CompiledProgram) -> u32 {
+    (cp.ops.len() / 4) as u32
+}
+
+/// Per-pass work counters for one [`optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Call sites inlined.
+    pub inlined_calls: u64,
+    /// Constants folded and branches statically resolved.
+    pub folded: u64,
+    /// Unreachable chunks dropped.
+    pub dce_blocks: u64,
+    /// Dead register writes deleted.
+    pub dce_ops: u64,
+    /// Superinstruction pairs fused.
+    pub fused: u64,
+}
+
+/// Optimizes `cp` according to `plan`, returning the rewritten
+/// program and what each pass did. The input is never mutated; at
+/// level 0 (or an empty budget) the result is a verbatim clone.
+pub fn optimize(cp: &CompiledProgram, plan: &OptPlan) -> (CompiledProgram, OptStats) {
+    let _sp = obs::span("opt.optimize");
+    let mut stats = OptStats::default();
+    let budgeted = |f: usize| {
+        plan.level >= 1
+            && plan.budgeted.get(f).copied().unwrap_or(false)
+            && cp.funcs[f].entry != NONE32
+            && cp.funcs[f].code.1 > cp.funcs[f].code.0
+    };
+    if plan.level == 0 || !(0..cp.funcs.len()).any(budgeted) {
+        return (cp.clone(), stats);
+    }
+
+    let mut irs: Vec<Option<ir::FuncIr>> = (0..cp.funcs.len())
+        .map(|f| {
+            budgeted(f).then(|| {
+                let freqs = plan.block_freqs.get(f).map(Vec::as_slice).unwrap_or(&[]);
+                ir::lift(cp, f, freqs)
+            })
+        })
+        .collect();
+
+    if plan.level >= 3 {
+        stats.inlined_calls = run_inliner(cp, plan, &mut irs);
+    }
+    for f_ir in irs.iter_mut().flatten() {
+        stats.folded += passes::fold(f_ir, cp);
+        let (blocks, ops) = passes::dce(f_ir);
+        stats.dce_blocks += blocks;
+        stats.dce_ops += ops;
+        if plan.level >= 2 {
+            stats.fused += passes::fuse(f_ir);
+            passes::layout(f_ir);
+        } else {
+            ir::drop_redundant_jumps(f_ir);
+        }
+        passes::recost(f_ir);
+    }
+    let out = ir::lower(cp, &irs);
+
+    if obs::enabled() {
+        obs::counter_add("opt.inlined_calls", stats.inlined_calls);
+        obs::counter_add("opt.folded", stats.folded);
+        obs::counter_add("opt.dce_blocks", stats.dce_blocks);
+        obs::counter_add("opt.dce_ops", stats.dce_ops);
+        obs::counter_add("opt.fused", stats.fused);
+    }
+    (out, stats)
+}
+
+/// Lift + lower with no passes: the optimizer's machinery shakedown.
+/// The result must behave identically to `cp` *including* steps and
+/// profiles (the only difference is zero-tick fallthrough jumps and
+/// relocation).
+pub fn roundtrip(cp: &CompiledProgram) -> CompiledProgram {
+    let irs: Vec<Option<ir::FuncIr>> = (0..cp.funcs.len())
+        .map(|f| {
+            let meta = &cp.funcs[f];
+            (meta.entry != NONE32 && meta.code.1 > meta.code.0).then(|| ir::lift(cp, f, &[]))
+        })
+        .collect();
+    ir::lower(cp, &irs)
+}
+
+/// Global hottest-first inlining over every budgeted function, bounded
+/// by the plan's code-growth budget.
+fn run_inliner(cp: &CompiledProgram, plan: &OptPlan, irs: &mut [Option<ir::FuncIr>]) -> u64 {
+    // Collect candidates across functions with their site frequencies.
+    struct Cand {
+        fid: usize,
+        site: ir::CallSite,
+        freq: f64,
+    }
+    let mut cands = Vec::new();
+    for (fid, f_ir) in irs.iter().enumerate() {
+        let Some(f_ir) = f_ir else { continue };
+        for site in &f_ir.call_sites {
+            let freq = if site.site == NONE32 {
+                0.0
+            } else {
+                plan.site_freqs
+                    .get(site.site as usize)
+                    .copied()
+                    .unwrap_or(0.0)
+            };
+            cands.push(Cand {
+                fid,
+                site: *site,
+                freq,
+            });
+        }
+    }
+    cands.sort_by(|a, b| b.freq.total_cmp(&a.freq));
+
+    let mut budget = plan.inline_budget as i64;
+    let mut inlined = 0;
+    for i in 0..cands.len() {
+        let Cand { fid, site, .. } = cands[i];
+        let f_ir = irs[fid].as_mut().expect("candidate from a budgeted fn");
+        if !inline::can_inline(cp, f_ir, &site) {
+            continue;
+        }
+        if inline::growth_estimate(cp, &site) as i64 > budget {
+            continue;
+        }
+        let spliced = inline::inline_site(f_ir, cp, &site);
+        budget -= spliced.growth as i64;
+        inlined += 1;
+        // Later candidates in the same chunk moved into the
+        // continuation chunk; retarget their coordinates.
+        for later in cands[i + 1..].iter_mut() {
+            if later.fid == fid && later.site.chunk == site.chunk && later.site.idx > site.idx {
+                later.site.chunk = spliced.post_chunk;
+                later.site.idx -= site.idx + 1;
+            }
+        }
+    }
+    inlined
+}

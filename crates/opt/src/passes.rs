@@ -1,0 +1,1013 @@
+//! The scalar pass pipeline over chunk IR: constant
+//! folding/propagation with branch simplification, dead-code
+//! elimination, hot-chunk superinstruction fusion, hot-path layout,
+//! and dispatch-cost recosting.
+//!
+//! All passes run only on budgeted functions and assume the recost
+//! pass follows: they drop or rewrite batched-tick payloads freely,
+//! because [`recost`] re-derives every tick under the dispatch-cost
+//! model (one step per executed op, counter bumps free). Observable
+//! behaviour — output bytes, exit state, and every *count* profile
+//! counter — is preserved exactly; only `steps` and `func_cost`
+//! change, which is the optimization being measured.
+
+use crate::ir::{drop_redundant_jumps, FuncIr};
+use crate::ops_info;
+use profiler::bytecode::{arith, cmp_vals, CompiledProgram, Op, SwitchTable, NONE32};
+use profiler::interp::convert_for_class;
+use profiler::Value;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Frame-slot ranges larger than this are invalidated rather than
+/// tracked word-by-word when zeroed (keeps the fold maps small).
+const MAX_TRACKED_ZERO: u32 = 64;
+
+/// Chunk-local constant folding, propagation, and branch
+/// simplification. Returns the number of folds (constant rewrites and
+/// statically resolved branches).
+///
+/// Tracking is killed conservatively: any op that can write memory
+/// through a pointer — or call code that might — forgets every frame
+/// slot, because frame addresses escape via `LeaLocal`. Resolved
+/// counted branches are replaced by [`Op::BumpBranch`], so the branch
+/// profile stays byte-identical.
+pub fn fold(ir: &mut FuncIr, cp: &CompiledProgram) -> u64 {
+    let mut folded = 0;
+    for chunk in ir.chunks.iter_mut().filter(|c| !c.dead) {
+        let mut regs: HashMap<u16, Value> = HashMap::new();
+        let mut slots: HashMap<u32, Value> = HashMap::new();
+        let mut out = Vec::with_capacity(chunk.ops.len());
+        // A statically resolved branch truncates the chunk: the ops
+        // after it are unreachable, and since resolution is
+        // input-independent they never execute unoptimized either.
+        'ops: for &op in &chunk.ops {
+            match op {
+                Op::Const { dst, v } => {
+                    regs.insert(dst, v);
+                    out.push(op);
+                }
+                Op::Mov { dst, src } => match regs.get(&src).copied() {
+                    Some(v) => {
+                        regs.insert(dst, v);
+                        out.push(Op::Const { dst, v });
+                        folded += 1;
+                    }
+                    None => {
+                        regs.remove(&dst);
+                        out.push(op);
+                    }
+                },
+                Op::LoadLocal { dst, off } => match slots.get(&off).copied() {
+                    Some(v) => {
+                        regs.insert(dst, v);
+                        out.push(Op::Const { dst, v });
+                        folded += 1;
+                    }
+                    None => {
+                        regs.remove(&dst);
+                        out.push(op);
+                    }
+                },
+                Op::LoadLocal2 { dst, off_a, off_b } => {
+                    upsert(&mut regs, dst, slots.get(&off_a).copied());
+                    upsert(&mut regs, dst + 1, slots.get(&off_b).copied());
+                    out.push(op);
+                }
+                Op::LoadLocalImm { dst, off, imm } => {
+                    upsert(&mut regs, dst, slots.get(&off).copied());
+                    regs.insert(dst + 1, Value::Int(imm));
+                    out.push(op);
+                }
+                Op::StoreLocal {
+                    off,
+                    src,
+                    class,
+                    dst,
+                } => {
+                    let v = regs.get(&src).map(|&v| convert_for_class(class, v));
+                    upsert(&mut slots, off, v);
+                    upsert(&mut regs, dst, v);
+                    out.push(op);
+                }
+                Op::StoreGlobal {
+                    src, class, dst, ..
+                } => {
+                    let v = regs.get(&src).map(|&v| convert_for_class(class, v));
+                    upsert(&mut regs, dst, v);
+                    out.push(op);
+                }
+                Op::InitWordsLocal { off, img } => {
+                    for (i, &v) in cp.images[img as usize].iter().enumerate() {
+                        slots.insert(off + i as u32, v);
+                    }
+                    out.push(op);
+                }
+                Op::ZeroLocal { off, len } => {
+                    if len <= MAX_TRACKED_ZERO {
+                        for i in 0..len {
+                            slots.insert(off + i, Value::Int(0));
+                        }
+                    } else {
+                        slots.retain(|&o, _| o < off || o >= off + len);
+                    }
+                    out.push(op);
+                }
+                Op::ToPtr { dst, src } => {
+                    fold_unary(&mut regs, &mut out, &mut folded, op, dst, src, |v| {
+                        Value::Ptr(v.to_ptr())
+                    });
+                }
+                Op::Bool { dst, src } => {
+                    fold_unary(&mut regs, &mut out, &mut folded, op, dst, src, |v| {
+                        Value::Int(v.truthy() as i64)
+                    });
+                }
+                Op::LogicNot { dst, src } => {
+                    fold_unary(&mut regs, &mut out, &mut folded, op, dst, src, |v| {
+                        Value::Int(!v.truthy() as i64)
+                    });
+                }
+                Op::Neg { dst, src } => {
+                    fold_unary(
+                        &mut regs,
+                        &mut out,
+                        &mut folded,
+                        op,
+                        dst,
+                        src,
+                        |v| match v {
+                            Value::Float(f) => Value::Float(-f),
+                            other => Value::Int(other.to_int().wrapping_neg()),
+                        },
+                    );
+                }
+                Op::BitNot { dst, src } => {
+                    fold_unary(&mut regs, &mut out, &mut folded, op, dst, src, |v| {
+                        Value::Int(!v.to_int())
+                    });
+                }
+                Op::Conv { dst, src, class } => {
+                    fold_unary(&mut regs, &mut out, &mut folded, op, dst, src, |v| {
+                        convert_for_class(class, v)
+                    });
+                }
+                Op::Arith {
+                    dst, a, b, mode, ..
+                } => {
+                    let v = binop(regs.get(&a).copied(), regs.get(&b).copied(), |x, y| {
+                        arith(mode, x, y).ok()
+                    });
+                    fold_result(&mut regs, &mut out, &mut folded, op, dst, v);
+                }
+                Op::ArithLL {
+                    dst,
+                    off_a,
+                    off_b,
+                    mode,
+                    ..
+                } => {
+                    let v = binop(
+                        slots.get(&off_a).copied(),
+                        slots.get(&off_b).copied(),
+                        |x, y| arith(mode, x, y).ok(),
+                    );
+                    fold_result(&mut regs, &mut out, &mut folded, op, dst, v);
+                }
+                Op::ArithLI {
+                    dst,
+                    off,
+                    imm,
+                    mode,
+                    ..
+                } => {
+                    let v = slots
+                        .get(&off)
+                        .and_then(|&x| arith(mode, x, Value::Int(imm as i64)).ok());
+                    fold_result(&mut regs, &mut out, &mut folded, op, dst, v);
+                }
+                Op::ArithRL { dst, off, mode, .. } => {
+                    let v = binop(regs.get(&dst).copied(), slots.get(&off).copied(), |x, y| {
+                        arith(mode, x, y).ok()
+                    });
+                    fold_result(&mut regs, &mut out, &mut folded, op, dst, v);
+                }
+                Op::ArithRI { dst, imm, mode, .. } => {
+                    let v = regs
+                        .get(&dst)
+                        .and_then(|&x| arith(mode, x, Value::Int(imm as i64)).ok());
+                    fold_result(&mut regs, &mut out, &mut folded, op, dst, v);
+                }
+                Op::StoreRR {
+                    off,
+                    a,
+                    b,
+                    mode,
+                    class,
+                    dst,
+                } => {
+                    let v = binop(regs.get(&a).copied(), regs.get(&b).copied(), |x, y| {
+                        arith(mode, x, y).ok().map(|v| convert_for_class(class, v))
+                    });
+                    upsert(&mut slots, off, v);
+                    upsert(&mut regs, dst, v);
+                    out.push(op);
+                }
+                Op::StoreLL {
+                    off,
+                    off_a,
+                    off_b,
+                    mode,
+                    class,
+                    dst,
+                } => {
+                    let v = binop(
+                        slots.get(&off_a).copied(),
+                        slots.get(&off_b).copied(),
+                        |x, y| arith(mode, x, y).ok().map(|v| convert_for_class(class, v)),
+                    );
+                    upsert(&mut slots, off, v);
+                    upsert(&mut regs, dst, v);
+                    out.push(op);
+                }
+                Op::StoreLI {
+                    off,
+                    off_a,
+                    imm,
+                    mode,
+                    class,
+                    dst,
+                } => {
+                    let v = slots.get(&off_a).and_then(|&x| {
+                        arith(mode, x, Value::Int(imm as i64))
+                            .ok()
+                            .map(|v| convert_for_class(class, v))
+                    });
+                    upsert(&mut slots, off, v);
+                    upsert(&mut regs, dst, v);
+                    out.push(op);
+                }
+                Op::StoreRL {
+                    off,
+                    off_b,
+                    mode,
+                    class,
+                    dst,
+                } => {
+                    let v = binop(
+                        regs.get(&dst).copied(),
+                        slots.get(&off_b).copied(),
+                        |x, y| arith(mode, x, y).ok().map(|v| convert_for_class(class, v)),
+                    );
+                    upsert(&mut slots, off, v);
+                    upsert(&mut regs, dst, v);
+                    out.push(op);
+                }
+                Op::StoreRI {
+                    off,
+                    imm,
+                    mode,
+                    class,
+                    dst,
+                } => {
+                    let v = regs.get(&dst).and_then(|&x| {
+                        arith(mode, x, Value::Int(imm as i64))
+                            .ok()
+                            .map(|v| convert_for_class(class, v))
+                    });
+                    upsert(&mut slots, off, v);
+                    upsert(&mut regs, dst, v);
+                    out.push(op);
+                }
+                Op::RmwLocal {
+                    off,
+                    src,
+                    mode,
+                    class,
+                    dst,
+                    ..
+                } => {
+                    let v = binop(slots.get(&off).copied(), regs.get(&src).copied(), |x, y| {
+                        arith(mode, x, y).ok().map(|v| convert_for_class(class, v))
+                    });
+                    upsert(&mut slots, off, v);
+                    upsert(&mut regs, dst, v);
+                    out.push(op);
+                }
+                Op::IncDecLocal { dst, off, .. } => {
+                    slots.remove(&off);
+                    regs.remove(&dst);
+                    out.push(op);
+                }
+                // Statically resolvable control flow.
+                Op::JumpIfFalse { src, target, tick } => match regs.get(&src) {
+                    Some(v) => {
+                        folded += 1;
+                        if !v.truthy() {
+                            out.push(Op::Jump { target, tick });
+                            break 'ops;
+                        } // else: fall through, op deleted
+                    }
+                    None => out.push(op),
+                },
+                Op::JumpIfTrue { src, target, tick } => match regs.get(&src) {
+                    Some(v) => {
+                        folded += 1;
+                        if v.truthy() {
+                            out.push(Op::Jump { target, tick });
+                            break 'ops;
+                        }
+                    }
+                    None => out.push(op),
+                },
+                Op::CondBranch {
+                    src,
+                    branch,
+                    else_target,
+                    tick,
+                } => match regs.get(&src) {
+                    Some(v) => {
+                        let taken = v.truthy();
+                        folded += 1;
+                        if branch != NONE32 {
+                            out.push(Op::BumpBranch { branch, taken });
+                        }
+                        if !taken {
+                            out.push(Op::Jump {
+                                target: else_target,
+                                tick,
+                            });
+                            break 'ops;
+                        }
+                    }
+                    None => out.push(op),
+                },
+                Op::CmpBranchLL {
+                    off_a,
+                    off_b,
+                    op: cmp,
+                    branch,
+                    else_target,
+                    tick,
+                } => {
+                    match binop(
+                        slots.get(&off_a).copied(),
+                        slots.get(&off_b).copied(),
+                        |x, y| Some(cmp_vals(cmp, x, y)),
+                    ) {
+                        Some(taken) => {
+                            folded += 1;
+                            if branch != NONE32 {
+                                out.push(Op::BumpBranch { branch, taken });
+                            }
+                            if !taken {
+                                out.push(Op::Jump {
+                                    target: else_target,
+                                    tick,
+                                });
+                                break 'ops;
+                            }
+                        }
+                        None => out.push(op),
+                    }
+                }
+                Op::CmpBranchLI {
+                    off,
+                    imm,
+                    op: cmp,
+                    branch,
+                    else_target,
+                    tick,
+                } => {
+                    match slots
+                        .get(&off)
+                        .map(|&x| cmp_vals(cmp, x, Value::Int(imm as i64)))
+                    {
+                        Some(taken) => {
+                            folded += 1;
+                            if branch != NONE32 {
+                                out.push(Op::BumpBranch { branch, taken });
+                            }
+                            if !taken {
+                                out.push(Op::Jump {
+                                    target: else_target,
+                                    tick,
+                                });
+                                break 'ops;
+                            }
+                        }
+                        None => out.push(op),
+                    }
+                }
+                Op::CmpBranchRR {
+                    a,
+                    b,
+                    op: cmp,
+                    branch,
+                    else_target,
+                    tick,
+                } => {
+                    match binop(regs.get(&a).copied(), regs.get(&b).copied(), |x, y| {
+                        Some(cmp_vals(cmp, x, y))
+                    }) {
+                        Some(taken) => {
+                            folded += 1;
+                            if branch != NONE32 {
+                                out.push(Op::BumpBranch { branch, taken });
+                            }
+                            if !taken {
+                                out.push(Op::Jump {
+                                    target: else_target,
+                                    tick,
+                                });
+                                break 'ops;
+                            }
+                        }
+                        None => out.push(op),
+                    }
+                }
+                Op::CmpBranchRL {
+                    a,
+                    off,
+                    op: cmp,
+                    branch,
+                    else_target,
+                    tick,
+                } => {
+                    match binop(regs.get(&a).copied(), slots.get(&off).copied(), |x, y| {
+                        Some(cmp_vals(cmp, x, y))
+                    }) {
+                        Some(taken) => {
+                            folded += 1;
+                            if branch != NONE32 {
+                                out.push(Op::BumpBranch { branch, taken });
+                            }
+                            if !taken {
+                                out.push(Op::Jump {
+                                    target: else_target,
+                                    tick,
+                                });
+                                break 'ops;
+                            }
+                        }
+                        None => out.push(op),
+                    }
+                }
+                Op::CmpBranchRI {
+                    a,
+                    imm,
+                    op: cmp,
+                    branch,
+                    else_target,
+                    tick,
+                } => {
+                    match regs
+                        .get(&a)
+                        .map(|&x| cmp_vals(cmp, x, Value::Int(imm as i64)))
+                    {
+                        Some(taken) => {
+                            folded += 1;
+                            if branch != NONE32 {
+                                out.push(Op::BumpBranch { branch, taken });
+                            }
+                            if !taken {
+                                out.push(Op::Jump {
+                                    target: else_target,
+                                    tick,
+                                });
+                                break 'ops;
+                            }
+                        }
+                        None => out.push(op),
+                    }
+                }
+                Op::SwitchJump { src, table, tick } => match regs.get(&src) {
+                    Some(v) => {
+                        let target = lookup_switch(&ir.tables[table as usize], v.to_int());
+                        folded += 1;
+                        out.push(Op::Jump { target, tick });
+                        break 'ops;
+                    }
+                    None => out.push(op),
+                },
+                // Everything else: generic invalidation.
+                _ => {
+                    if ops_info::clobbers_frame(&op) {
+                        slots.clear();
+                    }
+                    let uses = ops_info::reg_uses(&op);
+                    for w in uses.writes {
+                        regs.remove(&w);
+                    }
+                    out.push(op);
+                }
+            }
+        }
+        chunk.ops = out;
+    }
+    folded
+}
+
+fn upsert<K: std::hash::Hash + Eq>(map: &mut HashMap<K, Value>, k: K, v: Option<Value>) {
+    match v {
+        Some(v) => {
+            map.insert(k, v);
+        }
+        None => {
+            map.remove(&k);
+        }
+    }
+}
+
+fn binop<T>(
+    a: Option<Value>,
+    b: Option<Value>,
+    f: impl FnOnce(Value, Value) -> Option<T>,
+) -> Option<T> {
+    match (a, b) {
+        (Some(x), Some(y)) => f(x, y),
+        _ => None,
+    }
+}
+
+fn fold_unary(
+    regs: &mut HashMap<u16, Value>,
+    out: &mut Vec<Op>,
+    folded: &mut u64,
+    op: Op,
+    dst: u16,
+    src: u16,
+    f: impl FnOnce(Value) -> Value,
+) {
+    match regs.get(&src).copied() {
+        Some(v) => {
+            let v = f(v);
+            regs.insert(dst, v);
+            out.push(Op::Const { dst, v });
+            *folded += 1;
+        }
+        None => {
+            regs.remove(&dst);
+            out.push(op);
+        }
+    }
+}
+
+fn fold_result(
+    regs: &mut HashMap<u16, Value>,
+    out: &mut Vec<Op>,
+    folded: &mut u64,
+    op: Op,
+    dst: u16,
+    v: Option<Value>,
+) {
+    match v {
+        Some(v) => {
+            regs.insert(dst, v);
+            out.push(Op::Const { dst, v });
+            *folded += 1;
+        }
+        None => {
+            regs.remove(&dst);
+            out.push(op);
+        }
+    }
+}
+
+/// Replays the VM's switch lookup on a known scrutinee (chunk-id
+/// domain).
+fn lookup_switch(table: &SwitchTable, v: i64) -> u32 {
+    match table {
+        SwitchTable::Dense {
+            min,
+            targets,
+            default,
+        } => {
+            let off = v as i128 - *min as i128;
+            if off >= 0 && (off as usize) < targets.len() {
+                let t = targets[off as usize];
+                if t == NONE32 {
+                    *default
+                } else {
+                    t
+                }
+            } else {
+                *default
+            }
+        }
+        SwitchTable::Sorted {
+            keys,
+            targets,
+            default,
+        } => match keys.binary_search(&v) {
+            Ok(i) => targets[i],
+            Err(_) => *default,
+        },
+    }
+}
+
+/// Dead-code elimination: drops unreachable chunks, then deletes pure
+/// register writes that are overwritten before any read within their
+/// chunk. Returns `(dropped chunks, deleted ops)`.
+///
+/// Dropping an unreachable chunk is profile-sound: chunks only become
+/// unreachable through input-independent branch resolution, so their
+/// counters are zero in the unoptimized run too.
+pub fn dce(ir: &mut FuncIr) -> (u64, u64) {
+    // Reachability over explicit targets (all fallthroughs are still
+    // materialized as jumps at this point).
+    let mut seen = HashSet::from([ir.entry]);
+    let mut work = VecDeque::from([ir.entry]);
+    while let Some(c) = work.pop_front() {
+        let mut succs = Vec::new();
+        for op in &ir.chunks[c as usize].ops {
+            succs.extend(ops_info::targets(op));
+            if let Op::SwitchJump { table, .. } = op {
+                match &ir.tables[*table as usize] {
+                    SwitchTable::Dense {
+                        targets, default, ..
+                    } => {
+                        succs.extend(targets.iter().copied().filter(|&t| t != NONE32));
+                        succs.push(*default);
+                    }
+                    SwitchTable::Sorted {
+                        targets, default, ..
+                    } => {
+                        succs.extend(targets.iter().copied());
+                        succs.push(*default);
+                    }
+                }
+            }
+        }
+        for s in succs {
+            if seen.insert(s) {
+                work.push_back(s);
+            }
+        }
+    }
+    let mut dropped = 0;
+    for (i, chunk) in ir.chunks.iter_mut().enumerate() {
+        if !chunk.dead && !seen.contains(&(i as u32)) {
+            chunk.dead = true;
+            dropped += 1;
+        }
+    }
+    ir.order.retain(|c| seen.contains(c));
+
+    // Chunk-local dead pure writes (fold residue): walk backward,
+    // tracking registers certain to be overwritten before any read.
+    let mut deleted = 0;
+    for chunk in ir.chunks.iter_mut().filter(|c| !c.dead) {
+        let mut dead: HashSet<u16> = HashSet::new();
+        let mut keep = vec![true; chunk.ops.len()];
+        for (i, op) in chunk.ops.iter().enumerate().rev() {
+            let uses = ops_info::reg_uses(op);
+            if uses.pure && !uses.writes.is_empty() && uses.writes.iter().all(|w| dead.contains(w))
+            {
+                keep[i] = false;
+                deleted += 1;
+                continue;
+            }
+            for &w in &uses.writes {
+                dead.insert(w);
+            }
+            for &r in &uses.reads {
+                dead.remove(&r);
+            }
+            if let Some((base, len)) = uses.read_range {
+                for r in base..base + len {
+                    dead.remove(&r);
+                }
+            }
+        }
+        if deleted > 0 {
+            let mut it = keep.iter();
+            chunk.ops.retain(|_| *it.next().unwrap());
+        }
+    }
+    (dropped, deleted)
+}
+
+/// Superinstruction selection on hot chunks: re-runs the compiler's
+/// provably safe fusion patterns on code shapes exposed by inlining
+/// and folding. A chunk is hot when its frequency is at least the
+/// mean over the function's live chunks. Returns the number of fused
+/// pairs.
+pub fn fuse(ir: &mut FuncIr) -> u64 {
+    let live: Vec<_> = ir.chunks.iter().filter(|c| !c.dead).collect();
+    if live.is_empty() {
+        return 0;
+    }
+    let threshold = live.iter().map(|c| c.freq).sum::<f64>() / live.len() as f64;
+    drop(live);
+    let mut fused = 0;
+    for chunk in ir
+        .chunks
+        .iter_mut()
+        .filter(|c| !c.dead && c.freq >= threshold)
+    {
+        let ops = &mut chunk.ops;
+        let mut i = 0;
+        while i + 1 < ops.len() {
+            let pair = fuse_pair(ops[i], ops[i + 1]);
+            if let Some(op) = pair {
+                ops[i] = op;
+                ops.remove(i + 1);
+                fused += 1;
+                // A fused op can seed another pattern (rare); rescan
+                // from the previous position.
+                i = i.saturating_sub(1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    fused
+}
+
+/// The fusion patterns. Each is safe unconditionally: every register
+/// the pair wrote is written identically by the fused op, and the
+/// intermediate register was immediately overwritten.
+fn fuse_pair(a: Op, b: Op) -> Option<Op> {
+    match (a, b) {
+        (
+            Op::LoadLocal { dst, off },
+            Op::LoadLocal {
+                dst: d2,
+                off: off_b,
+            },
+        ) if d2 == dst + 1 => Some(Op::LoadLocal2 {
+            dst,
+            off_a: off,
+            off_b,
+        }),
+        (
+            Op::LoadLocal { dst, off },
+            Op::Const {
+                dst: d2,
+                v: Value::Int(imm),
+            },
+        ) if d2 == dst + 1 => Some(Op::LoadLocalImm { dst, off, imm }),
+        (
+            Op::IndexAddr {
+                dst,
+                base,
+                idx,
+                elem,
+            },
+            Op::Load {
+                dst: d2,
+                addr,
+                tick,
+            },
+        ) if addr == dst && d2 == dst => Some(Op::LoadIdx {
+            dst,
+            base,
+            idx,
+            elem,
+            tick,
+        }),
+        (
+            Op::IndexAddrLL {
+                dst,
+                off_a,
+                off_b,
+                elem,
+            },
+            Op::Load {
+                dst: d2,
+                addr,
+                tick,
+            },
+        ) if addr == dst && d2 == dst => Some(Op::LoadIdxLL {
+            dst,
+            off_a,
+            off_b,
+            elem,
+            tick,
+        }),
+        (
+            Op::IndexAddrPL {
+                dst,
+                base,
+                idx_off,
+                elem,
+            },
+            Op::Load {
+                dst: d2,
+                addr,
+                tick,
+            },
+        ) if addr == dst && d2 == dst => Some(Op::LoadIdxPL {
+            dst,
+            base,
+            idx_off,
+            elem,
+            tick,
+        }),
+        (
+            Op::IndexAddrLeaL {
+                dst,
+                lea_off,
+                idx_off,
+                elem,
+            },
+            Op::Load {
+                dst: d2,
+                addr,
+                tick,
+            },
+        ) if addr == dst && d2 == dst => Some(Op::LoadIdxLeaL {
+            dst,
+            lea_off,
+            idx_off,
+            elem,
+            tick,
+        }),
+        (
+            Op::Arith {
+                dst, a, b, mode, ..
+            },
+            Op::StoreLocal {
+                off,
+                src,
+                class,
+                dst: d2,
+            },
+        ) if src == dst && d2 == dst => Some(Op::StoreRR {
+            off,
+            a,
+            b,
+            mode,
+            class,
+            dst,
+        }),
+        (
+            Op::ArithLL {
+                dst,
+                off_a,
+                off_b,
+                mode,
+                ..
+            },
+            Op::StoreLocal {
+                off,
+                src,
+                class,
+                dst: d2,
+            },
+        ) if src == dst && d2 == dst => Some(Op::StoreLL {
+            off,
+            off_a,
+            off_b,
+            mode,
+            class,
+            dst,
+        }),
+        (
+            Op::ArithLI {
+                dst,
+                off: off_a,
+                imm,
+                mode,
+                ..
+            },
+            Op::StoreLocal {
+                off,
+                src,
+                class,
+                dst: d2,
+            },
+        ) if src == dst && d2 == dst => Some(Op::StoreLI {
+            off,
+            off_a,
+            imm,
+            mode,
+            class,
+            dst,
+        }),
+        (
+            Op::ArithRL {
+                dst,
+                off: off_b,
+                mode,
+                ..
+            },
+            Op::StoreLocal {
+                off,
+                src,
+                class,
+                dst: d2,
+            },
+        ) if src == dst && d2 == dst => Some(Op::StoreRL {
+            off,
+            off_b,
+            mode,
+            class,
+            dst,
+        }),
+        (
+            Op::ArithRI { dst, imm, mode, .. },
+            Op::StoreLocal {
+                off,
+                src,
+                class,
+                dst: d2,
+            },
+        ) if src == dst && d2 == dst => Some(Op::StoreRI {
+            off,
+            imm,
+            mode,
+            class,
+            dst,
+        }),
+        _ => None,
+    }
+}
+
+/// Hot-path chunk layout: a greedy trace from the entry that always
+/// extends with the hottest unplaced successor, then the hottest
+/// unplaced chunk overall. Jumps to the next chunk in the final order
+/// become implicit fallthroughs (one dispatch saved per execution).
+pub fn layout(ir: &mut FuncIr) {
+    let live: HashSet<u32> = ir.order.iter().copied().collect();
+    let mut placed: HashSet<u32> = HashSet::new();
+    let mut order = Vec::with_capacity(ir.order.len());
+    let mut cur = Some(ir.entry);
+    loop {
+        let c = match cur {
+            Some(c) => c,
+            None => match ir
+                .order
+                .iter()
+                .copied()
+                .filter(|c| !placed.contains(c))
+                .max_by(|a, b| {
+                    let fa = ir.chunks[*a as usize].freq;
+                    let fb = ir.chunks[*b as usize].freq;
+                    fa.total_cmp(&fb)
+                }) {
+                Some(c) => c,
+                None => break,
+            },
+        };
+        placed.insert(c);
+        order.push(c);
+        // Hottest unplaced successor continues the trace.
+        let mut succs = Vec::new();
+        for op in &ir.chunks[c as usize].ops {
+            succs.extend(ops_info::targets(op));
+        }
+        cur = succs
+            .into_iter()
+            .filter(|s| live.contains(s) && !placed.contains(s))
+            .max_by(|a, b| {
+                let fa = ir.chunks[*a as usize].freq;
+                let fb = ir.chunks[*b as usize].freq;
+                fa.total_cmp(&fb)
+            });
+    }
+    ir.order = order;
+    drop_redundant_jumps(ir);
+}
+
+/// Replaces the AST-mirroring tick payloads with the dispatch-cost
+/// model: every executed op charges one step, counter bumps charge
+/// none, and charges batch onto the next tick-carrying op exactly as
+/// the compiler batches AST ticks. This is where the measured speedup
+/// comes from: a fused superinstruction, an inlined call, or a
+/// constant-folded subexpression now costs what it dispatches, not
+/// what the source AST would have ticked.
+pub fn recost(ir: &mut FuncIr) {
+    for chunk in ir.chunks.iter_mut().filter(|c| !c.dead) {
+        let mut out = Vec::with_capacity(chunk.ops.len());
+        let mut pending: u32 = 0;
+        for &op in &chunk.ops {
+            let mut op = op;
+            match op {
+                Op::Tick(_) => continue, // AST-cost artifact
+                Op::Fail(_) => {
+                    if pending > 0 {
+                        out.push(Op::Tick(pending));
+                        pending = 0;
+                    }
+                    out.push(op);
+                }
+                _ if ops_info::is_zero_cost(&op) => out.push(op),
+                _ => {
+                    match ops_info::tick_mut(&mut op) {
+                        Some(t) => {
+                            *t = pending + 1;
+                            pending = 0;
+                        }
+                        None => pending += 1,
+                    }
+                    out.push(op);
+                }
+            }
+        }
+        if pending > 0 {
+            out.push(Op::Tick(pending));
+        }
+        chunk.ops = out;
+    }
+}

@@ -1,0 +1,100 @@
+//! The optimizer's ground rules, checked against the whole benchmark
+//! suite:
+//!
+//! 1. Lift + lower with no passes (`roundtrip`) is observably
+//!    identical to the original program — including `steps` and the
+//!    complete profile.
+//! 2. At every optimization level, output bytes, exit code, and all
+//!    *count* profile counters (blocks, edges, branches, call sites,
+//!    function entries) stay byte-identical; only `steps` and
+//!    `func_cost` may change.
+//! 3. Level 3 on `compress` actually pays: ≥1.25× fewer VM steps.
+
+use opt::{optimize, roundtrip, OptPlan};
+use profiler::bytecode::{compile, CompiledProgram};
+use profiler::{Profile, RunConfig, RunOutcome};
+
+fn run_cp(cp: &CompiledProgram, input: &[u8], max_steps: u64) -> RunOutcome {
+    let config = RunConfig {
+        input: input.to_vec(),
+        max_steps,
+        ..RunConfig::default()
+    };
+    cp.execute(&config).expect("suite programs run clean")
+}
+
+/// Everything except `steps`/`func_cost` — the optimizer's invariants.
+#[allow(clippy::type_complexity)]
+fn count_counters(p: &Profile) -> (&Vec<Vec<u64>>, &Vec<(u64, u64)>, &Vec<u64>, &Vec<u64>) {
+    (
+        &p.block_counts,
+        &p.branch_counts,
+        &p.call_site_counts,
+        &p.func_counts,
+    )
+}
+
+#[test]
+fn roundtrip_is_identity_across_suite() {
+    for bench in suite::all() {
+        let program = bench.compile().unwrap();
+        let cp = compile(&program);
+        let rt = roundtrip(&cp);
+        for input in bench.inputs() {
+            let a = run_cp(&cp, &input, 400_000_000);
+            let b = run_cp(&rt, &input, 400_000_000);
+            assert_eq!(a.exit_code, b.exit_code, "{}: exit", bench.name);
+            assert_eq!(a.output, b.output, "{}: output", bench.name);
+            assert_eq!(a.steps, b.steps, "{}: steps", bench.name);
+            assert_eq!(a.profile, b.profile, "{}: profile", bench.name);
+        }
+    }
+}
+
+#[test]
+fn optimized_outputs_match_across_suite_and_levels() {
+    for bench in suite::all() {
+        let program = bench.compile().unwrap();
+        let cp = compile(&program);
+        let baselines: Vec<(Vec<u8>, RunOutcome)> = bench
+            .inputs()
+            .into_iter()
+            .map(|input| {
+                let out = run_cp(&cp, &input, 400_000_000);
+                (input, out)
+            })
+            .collect();
+        for level in 1..=3u8 {
+            let (ocp, _stats) = optimize(&cp, &OptPlan::full(&cp, level));
+            for (input, base) in &baselines {
+                // 4× headroom: recosting may move a run across the
+                // step limit in either direction near the boundary.
+                let out = run_cp(&ocp, input, 1_600_000_000);
+                let ctx = format!("{} @ O{level}", bench.name);
+                assert_eq!(base.exit_code, out.exit_code, "{ctx}: exit");
+                assert_eq!(base.output, out.output, "{ctx}: output");
+                assert_eq!(
+                    count_counters(&base.profile),
+                    count_counters(&out.profile),
+                    "{ctx}: count counters"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compress_level3_speedup_at_least_1_25x() {
+    let bench = suite::by_name("compress").unwrap();
+    let program = bench.compile().unwrap();
+    let cp = compile(&program);
+    let (ocp, stats) = optimize(&cp, &OptPlan::full(&cp, 3));
+    let input = bench.inputs().remove(0);
+    let before = run_cp(&cp, &input, 400_000_000).steps;
+    let after = run_cp(&ocp, &input, 1_600_000_000).steps;
+    let speedup = before as f64 / after as f64;
+    assert!(
+        speedup >= 1.25,
+        "compress speedup {speedup:.3} ({before} -> {after} steps, {stats:?})"
+    );
+}

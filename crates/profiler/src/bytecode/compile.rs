@@ -147,6 +147,8 @@ pub(super) fn compile(program: &Program) -> CompiledProgram {
                 max_regs: 0,
                 params: Vec::new(),
                 name: f.name.clone(),
+                code: (0, 0),
+                block_pc: Vec::new(),
             },
         });
     }
@@ -770,6 +772,7 @@ impl<'p> Compiler<'p> {
 
     fn compile_func(&mut self, fid: FuncId, cfg: &Cfg) -> FuncMeta {
         let func = self.program.module.function(fid);
+        let code_start = self.ops.len() as u32;
         self.cur_fn = fid;
         self.pending = 0;
         self.hi = 1;
@@ -825,6 +828,8 @@ impl<'p> Compiler<'p> {
             max_regs: self.hi as u32,
             params,
             name: func.name.clone(),
+            code: (code_start, self.ops.len() as u32),
+            block_pc: std::mem::take(&mut self.block_pc),
         }
     }
 

@@ -350,6 +350,16 @@ impl<'a> Vm<'a> {
             match op {
                 Op::Tick(n) => tick!(n),
                 Op::BumpSite(i) => self.sites[i as usize] += 1,
+                Op::BumpFunc(f) => {
+                    let f = f as usize;
+                    self.func_counts[f] += 1;
+                    self.blocks[cp.funcs[f].entry_block as usize] += 1;
+                }
+                Op::BumpBranch { branch, taken } => self.bump_branch(branch, taken),
+                Op::Mov { dst, src } => {
+                    let v = self.reg(src);
+                    self.set_reg(dst, v);
+                }
                 Op::Const { dst, v } => self.set_reg(dst, v),
                 Op::LeaLocal { dst, off } => {
                     let addr = STACK_BASE + (self.fp + off as usize) as u64;
@@ -1208,8 +1218,10 @@ fn ord_to_int(o: Ordering) -> i64 {
 }
 
 /// A comparison's truth value; the float/int split stays dynamic and
-/// NaN compares false, exactly as in `Interp::arith`.
-fn cmp_vals(op: BinOp, va: Value, vb: Value) -> bool {
+/// NaN compares false, exactly as in `Interp::arith`. Public (via
+/// `bytecode`) so the optimizer folds constants with the VM's exact
+/// semantics.
+pub fn cmp_vals(op: BinOp, va: Value, vb: Value) -> bool {
     use BinOp::*;
     let cmp = if matches!(va, Value::Float(_)) || matches!(vb, Value::Float(_)) {
         // IEEE comparison is the *specified* behaviour here (C source
@@ -1234,8 +1246,10 @@ fn cmp_vals(op: BinOp, va: Value, vb: Value) -> bool {
 }
 
 /// Binary arithmetic with the compile-time mode; the float/int split
-/// stays dynamic, exactly as in `Interp::arith`.
-fn arith(mode: ArithMode, va: Value, vb: Value) -> Result<Value, RuntimeError> {
+/// stays dynamic, exactly as in `Interp::arith`. Public (via
+/// `bytecode`) so the optimizer folds constants with the VM's exact
+/// semantics.
+pub fn arith(mode: ArithMode, va: Value, vb: Value) -> Result<Value, RuntimeError> {
     use BinOp::*;
     Ok(match mode {
         ArithMode::Cmp(op) => Value::Int(cmp_vals(op, va, vb) as i64),

@@ -34,6 +34,8 @@
 mod compile;
 mod exec;
 
+pub use exec::{arith, cmp_vals};
+
 use crate::interp::{RunConfig, RunOutcome, RuntimeError, TyClass, Value};
 use crate::profile::Profile;
 use flowgraph::{BlockId, Program};
@@ -45,13 +47,13 @@ use std::hash::{DefaultHasher, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Sentinel for "no index" in `u32` fields (branch ids, entry points).
-pub(crate) const NONE32: u32 = u32::MAX;
+pub const NONE32: u32 = u32::MAX;
 
 /// How a binary operator executes, resolved at compile time from the
 /// operands' static types (the dynamic float/int split stays in the
 /// op, exactly as in `Interp::arith`).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) enum ArithMode {
+pub enum ArithMode {
     /// A comparison (`< <= > >= == !=`).
     Cmp(BinOp),
     /// `ptr + int` with the left operand the pointer.
@@ -68,7 +70,7 @@ pub(crate) enum ArithMode {
 
 impl ArithMode {
     /// Whether executing this mode can raise a runtime error.
-    pub(crate) fn fallible(self) -> bool {
+    pub fn fallible(self) -> bool {
         matches!(
             self,
             ArithMode::Num(BinOp::Div) | ArithMode::Num(BinOp::Rem)
@@ -86,12 +88,23 @@ impl ArithMode {
 /// separate `Tick` dispatch: a loop iteration is just its eval ops
 /// plus one branching op and one [`Op::EdgeJump`].
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum Op {
+#[allow(missing_docs)] // field names are self-describing; semantics live on the variants
+pub enum Op {
     /// `steps += n`, `func_cost[cur] += n`, abort past the limit
     /// (standalone form, used before `Fail`).
     Tick(u32),
     /// `call_site_counts[idx] += 1`.
     BumpSite(u32),
+    /// `func_counts[f] += 1` and `blocks[funcs[f].entry_block] += 1` —
+    /// replicates the counter bumps of `enter()` at an inlined call
+    /// site (emitted only by the optimizer; zero cost).
+    BumpFunc(u32),
+    /// Bump branch counter `branch` by `taken` — stands in for a
+    /// branch the optimizer resolved at compile time (zero cost).
+    BumpBranch { branch: u32, taken: bool },
+    /// `dst = src` (register move; emitted only by the optimizer for
+    /// inlined return values).
+    Mov { dst: u16, src: u16 },
     /// `dst = v`.
     Const { dst: u16, v: Value },
     /// `dst = Ptr(address of frame slot off)`.
@@ -460,7 +473,8 @@ pub(crate) enum Op {
 /// keeping the first occurrence, so both lookup shapes agree with the
 /// interpreter's linear first-match scan.
 #[derive(Debug, Clone)]
-pub(crate) enum SwitchTable {
+#[allow(missing_docs)] // field names are self-describing; semantics live on the variants
+pub enum SwitchTable {
     /// Compact value range: `targets[v - min]`, `NONE32` = default.
     Dense {
         min: i64,
@@ -477,7 +491,8 @@ pub(crate) enum SwitchTable {
 
 /// How one parameter is bound on function entry.
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum ParamBind {
+#[allow(missing_docs)] // field names are self-describing; semantics live on the variants
+pub enum ParamBind {
     /// Scalar: convert for the declared type and store into the frame.
     Scalar { off: u32, class: TyClass },
     /// Aggregate: copy `size` words from the argument pointer.
@@ -486,7 +501,7 @@ pub(crate) enum ParamBind {
 
 /// Per-function compiled metadata.
 #[derive(Debug, Clone)]
-pub(crate) struct FuncMeta {
+pub struct FuncMeta {
     /// Entry pc, or [`NONE32`] for bodiless prototypes.
     pub entry: u32,
     /// Flat block-counter index of the entry block (bumped on call;
@@ -500,30 +515,45 @@ pub(crate) struct FuncMeta {
     pub params: Vec<ParamBind>,
     /// Function name (for `Undefined` errors).
     pub name: String,
+    /// The function's contiguous op range `[start, end)` in
+    /// [`CompiledProgram::ops`] (`(0, 0)` for bodiless prototypes).
+    /// All control flow is intra-function, so this range is closed
+    /// under jumps — the optimizer lifts and relocates it wholesale.
+    pub code: (u32, u32),
+    /// Per-CFG-block start pc (indexed by `BlockId`), recorded so the
+    /// optimizer can map lifted ops back to flowgraph blocks.
+    pub block_pc: Vec<u32>,
 }
 
 /// A program lowered to bytecode: fully owned and `Send + Sync`, so
 /// one compiled image can profile many inputs on concurrent threads.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CompiledProgram {
-    pub(crate) ops: Vec<Op>,
-    pub(crate) funcs: Vec<FuncMeta>,
-    pub(crate) main: Option<FuncId>,
-    pub(crate) switch_tables: Vec<SwitchTable>,
+    /// The flat instruction stream, all functions concatenated.
+    pub ops: Vec<Op>,
+    /// Per-function metadata, indexed by `FuncId`.
+    pub funcs: Vec<FuncMeta>,
+    /// `main`'s id, if the program defines one.
+    pub main: Option<FuncId>,
+    /// Lowered `switch` lookup tables.
+    pub switch_tables: Vec<SwitchTable>,
     /// Precompiled local initializer images (`InitStr` word arrays).
-    pub(crate) images: Vec<Vec<Value>>,
+    pub images: Vec<Vec<Value>>,
     /// Interned runtime errors for `Op::Fail`.
-    pub(crate) fails: Vec<RuntimeError>,
+    pub fails: Vec<RuntimeError>,
     /// The static data segment (globals + string literals), laid out
     /// exactly as the AST interpreter's `load_statics`.
-    pub(crate) data_image: Vec<Value>,
+    pub data_image: Vec<Value>,
     /// Flat block-counter layout: `block_base[f] + block`.
-    pub(crate) block_base: Vec<u32>,
-    pub(crate) block_lens: Vec<u32>,
+    pub block_base: Vec<u32>,
+    /// Block-counter count per function (parallel to `block_base`).
+    pub block_lens: Vec<u32>,
     /// Dense edge-counter keys, parallel to the runtime counter array.
-    pub(crate) edge_keys: Vec<(FuncId, BlockId, BlockId)>,
-    pub(crate) n_branches: usize,
-    pub(crate) n_sites: usize,
+    pub edge_keys: Vec<(FuncId, BlockId, BlockId)>,
+    /// Number of registered branch sites.
+    pub n_branches: usize,
+    /// Number of registered call sites.
+    pub n_sites: usize,
 }
 
 impl CompiledProgram {
@@ -564,7 +594,7 @@ impl CompiledProgram {
     }
 
     /// An all-zero profile shaped like this program's.
-    pub(crate) fn empty_profile(&self) -> Profile {
+    pub fn empty_profile(&self) -> Profile {
         Profile {
             block_counts: self
                 .block_lens

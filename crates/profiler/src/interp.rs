@@ -52,7 +52,8 @@ impl Value {
         }
     }
 
-    pub(crate) fn to_int(self) -> i64 {
+    /// The value as an integer word (C integer conversion).
+    pub fn to_int(self) -> i64 {
         match self {
             Value::Int(v) => v,
             Value::Float(v) => v as i64,
@@ -61,7 +62,8 @@ impl Value {
         }
     }
 
-    pub(crate) fn to_float(self) -> f64 {
+    /// The value as a float (C floating conversion).
+    pub fn to_float(self) -> f64 {
         match self {
             Value::Int(v) => v as f64,
             Value::Float(v) => v,
@@ -70,7 +72,8 @@ impl Value {
         }
     }
 
-    pub(crate) fn to_ptr(self) -> u64 {
+    /// The value as a pointer word (function values decay to NULL).
+    pub fn to_ptr(self) -> u64 {
         match self {
             Value::Ptr(p) => p,
             Value::Int(v) => v as u64,
@@ -271,13 +274,21 @@ pub(crate) struct NodeTy {
     pub(crate) size: u32,
 }
 
+/// Storage class of a slot, driving value conversion on store. Public
+/// so the optimizer crate can interpret typed bytecode operands.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) enum TyClass {
+pub enum TyClass {
+    /// Integer / char word.
     Int,
+    /// Floating word.
     Float,
+    /// Data pointer word.
     Ptr,
+    /// Function pointer word.
     FnPtr,
+    /// Aggregate (struct / array) — handled by address, never converted.
     Agg,
+    /// `void` and friends — never stored.
     Other,
 }
 
@@ -1353,7 +1364,7 @@ impl<'p> Interp<'p> {
 }
 
 /// Converts a value for storage into a slot of the given class.
-pub(crate) fn convert_for_class(class: TyClass, v: Value) -> Value {
+pub fn convert_for_class(class: TyClass, v: Value) -> Value {
     match class {
         TyClass::Int => Value::Int(v.to_int()),
         TyClass::Float => Value::Float(v.to_float()),

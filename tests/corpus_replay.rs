@@ -1,7 +1,7 @@
 //! Replays every checked-in fuzzer counterexample.
 //!
 //! Each file in `tests/corpus/` is a minimized program that once made
-//! one of the five differential oracles fire (its header comment names
+//! one of the six differential oracles fire (its header comment names
 //! the seed and the oracle). The bugs are fixed, so every file must now
 //! pass `check_source` cleanly — a regression here means one of the
 //! fixed bugs is back.

@@ -147,7 +147,8 @@ fn write_trajectory() {
           \"profiler_cache_hits\": {}, \"profiler_cache_misses\": {}, \
           \"artifact_cache_hits_cold\": {}, \"artifact_cache_misses_cold\": {}, \
           \"artifact_cache_hits_warm\": {}, \"artifact_cache_misses_warm\": {}, \
-          \"pool_workers\": {}, \"pool_tasks\": {}, \"pool_steals\": {}, \
+          \"pool_workers\": {}, \"pool_threads_env\": \"{}\", \
+          \"pool_tasks\": {}, \"pool_steals\": {}, \
           \"metric_weight_matches\": {}, \
           \"opt_program\": \"compress\", \"opt_level\": 3, \
           \"opt_optimize_cpu_ms\": {:.2}, \
@@ -171,6 +172,7 @@ fn write_trajectory() {
         counter(&m_warm, "cache.hits"),
         counter(&m_warm, "cache.misses"),
         pool::global().workers(),
+        std::env::var("SFE_POOL_THREADS").unwrap_or_else(|_| "unset".into()),
         counter(&m, "pool.tasks"),
         counter(&m, "pool.steals"),
         counter(&m, "metric.weight_matches"),

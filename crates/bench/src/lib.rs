@@ -8,6 +8,8 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
+
 use cache::codec::Artifact;
 use cache::{ArtifactKey, ArtifactKind, BytecodeMeta, Cache};
 use estimators::eval;

@@ -50,15 +50,36 @@
 //! [`Cache::open`], and every [`EVICT_SCAN_INTERVAL`] writes) finds
 //! more than [`Cache::capacity`] entries, the oldest-modified entries
 //! are removed down to capacity and `cache.evictions` is bumped.
+//! Filesystem mtimes can have full-second granularity, so same-mtime
+//! groups are common after a burst of writes; the scan breaks those
+//! ties by key (the entry's hex filename), which makes eviction order
+//! a pure function of (mtime, key) — identical on every filesystem.
+//! Concurrent scans race benignly: `remove_file` succeeds in exactly
+//! one racer, so each eviction is counted once, and the temp+rename
+//! write protocol means a scan can never observe (or remove) a
+//! half-written entry.
+//!
+//! ## Batched writes
+//!
+//! [`Cache::store_batched`] parks encoded entries in a bounded
+//! in-memory tier instead of hitting the filesystem per call; the
+//! tier drains to disk (same temp+rename protocol) when it reaches
+//! [`WRITE_BATCH_LIMIT`] entries, on [`Cache::flush`], and on drop.
+//! [`Cache::load`] consults the tier first, so a reader always sees
+//! its own unflushed writes. This is what lets a corpus run push
+//! 10,000 small artifacts through the store without serializing on
+//! 10,000 interleaved `create_dir_all`/create/rename round-trips.
 
 #![warn(missing_docs)]
 
 pub mod codec;
 
 use profiler::{Profile, RunConfig};
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Bump when the codec layout or key derivation changes; every entry
 /// written under another version silently misses. v2 added the
@@ -70,6 +91,10 @@ const ENTRY_EXT: &str = "sfea";
 
 /// How many writes between opportunistic eviction scans.
 pub const EVICT_SCAN_INTERVAL: u64 = 256;
+
+/// How many entries the in-memory write tier holds before
+/// [`Cache::store_batched`] drains it to disk.
+pub const WRITE_BATCH_LIMIT: usize = 64;
 
 /// Default [`Cache::capacity`]: far above one suite's needs (14
 /// programs × a handful of inputs), far below anything that hurts.
@@ -119,7 +144,11 @@ pub struct BytecodeMeta {
 }
 
 /// A 128-bit content fingerprint; the cache address of one artifact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Ordered by key value — the eviction tie-break order.
+// The derived `partial_cmp` delegates to `Ord` on a `u128` — total, so
+// exempt from the workspace NaN-ordering ban (clippy.toml).
+#[allow(clippy::disallowed_methods)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArtifactKey(pub u128);
 
 /// Incremental FNV-1a over two 64-bit streams with distinct offset
@@ -219,6 +248,12 @@ pub struct Cache {
     capacity: usize,
     writes: AtomicU64,
     tmp_counter: AtomicU64,
+    /// Encoded-but-unflushed entries from [`Cache::store_batched`].
+    pending: Mutex<HashMap<ArtifactKey, Vec<u8>>>,
+    /// One flag per 2-hex-digit shard directory already created, so
+    /// the drain path skips the `create_dir_all` syscall after the
+    /// first write into a shard.
+    shard_created: [AtomicBool; 256],
 }
 
 impl Cache {
@@ -247,6 +282,8 @@ impl Cache {
             capacity: capacity.max(1),
             writes: AtomicU64::new(0),
             tmp_counter: AtomicU64::new(0),
+            pending: Mutex::new(HashMap::new()),
+            shard_created: [const { AtomicBool::new(false) }; 256],
         };
         cache.evict_to_capacity();
         Ok(cache)
@@ -273,6 +310,22 @@ impl Cache {
     /// on any validation failure (bumping `cache.corrupt` for bytes
     /// that exist but fail validation — the caller recomputes).
     pub fn load(&self, key: ArtifactKey) -> Option<codec::Artifact> {
+        // The in-memory write tier first: a batched writer must see
+        // its own stores before they reach disk.
+        if let Some(bytes) = self.lock_pending().get(&key).cloned() {
+            return match codec::decode_entry(&bytes) {
+                Some(artifact) => {
+                    obs::counter_add("cache.hits", 1);
+                    Some(artifact)
+                }
+                None => {
+                    obs::counter_add("cache.misses", 1);
+                    obs::counter_add("cache.corrupt", 1);
+                    self.lock_pending().remove(&key);
+                    None
+                }
+            };
+        }
         let path = self.entry_path(key);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
@@ -313,15 +366,27 @@ impl Cache {
         }
     }
 
-    /// Encodes and writes `artifact` at `key` (write-through after a
-    /// miss). All I/O errors degrade to "not cached": the tempfile is
-    /// cleaned up and the store stays consistent.
-    pub fn store(&self, key: ArtifactKey, artifact: &codec::Artifact) {
-        let entry = codec::encode_entry(artifact);
+    fn lock_pending(&self) -> std::sync::MutexGuard<'_, HashMap<ArtifactKey, Vec<u8>>> {
+        match self.pending.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Temp+rename write of pre-encoded bytes; returns whether the
+    /// entry landed. Shard directory creation is memoized per cache
+    /// handle.
+    fn write_entry(&self, key: ArtifactKey, entry: &[u8]) -> bool {
         let path = self.entry_path(key);
-        let Some(parent) = path.parent() else { return };
-        if std::fs::create_dir_all(parent).is_err() {
-            return;
+        let Some(parent) = path.parent() else {
+            return false;
+        };
+        let shard = (key.0 >> 120) as u8;
+        if !self.shard_created[shard as usize].load(Ordering::Relaxed) {
+            if std::fs::create_dir_all(parent).is_err() {
+                return false;
+            }
+            self.shard_created[shard as usize].store(true, Ordering::Relaxed);
         }
         let tmp = parent.join(format!(
             ".tmp-{}-{}",
@@ -329,27 +394,87 @@ impl Cache {
             self.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
         let written = std::fs::File::create(&tmp)
-            .and_then(|mut f| f.write_all(&entry))
+            .and_then(|mut f| f.write_all(entry))
             .and_then(|()| std::fs::rename(&tmp, &path));
         match written {
-            Ok(()) => obs::counter_add("cache.writes", 1),
+            Ok(()) => {
+                obs::counter_add("cache.writes", 1);
+                true
+            }
             Err(_) => {
                 let _best_effort = std::fs::remove_file(&tmp);
-                return;
+                false
             }
         }
-        if self.writes.fetch_add(1, Ordering::Relaxed) % EVICT_SCAN_INTERVAL
-            == EVICT_SCAN_INTERVAL - 1
-        {
+    }
+
+    /// Bumps the write counter and runs the periodic eviction scan.
+    fn account_writes(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let before = self.writes.fetch_add(n, Ordering::Relaxed);
+        if before / EVICT_SCAN_INTERVAL != (before + n) / EVICT_SCAN_INTERVAL {
             self.evict_to_capacity();
         }
     }
 
+    /// Encodes and writes `artifact` at `key` (write-through after a
+    /// miss). All I/O errors degrade to "not cached": the tempfile is
+    /// cleaned up and the store stays consistent.
+    pub fn store(&self, key: ArtifactKey, artifact: &codec::Artifact) {
+        let entry = codec::encode_entry(artifact);
+        if self.write_entry(key, &entry) {
+            self.account_writes(1);
+        }
+    }
+
+    /// Like [`Cache::store`], but parks the encoded entry in the
+    /// in-memory write tier instead of writing through; the tier
+    /// drains when it reaches [`WRITE_BATCH_LIMIT`] entries, on
+    /// [`Cache::flush`], and when the cache is dropped. Readers see
+    /// the entry immediately via [`Cache::load`]'s tier check.
+    pub fn store_batched(&self, key: ArtifactKey, artifact: &codec::Artifact) {
+        let entry = codec::encode_entry(artifact);
+        let drain: Vec<(ArtifactKey, Vec<u8>)> = {
+            let mut pending = self.lock_pending();
+            pending.insert(key, entry);
+            if pending.len() < WRITE_BATCH_LIMIT {
+                return;
+            }
+            pending.drain().collect()
+        };
+        self.drain_entries(drain);
+    }
+
+    /// Writes every entry parked by [`Cache::store_batched`] to disk.
+    /// Idempotent; called automatically on drop.
+    pub fn flush(&self) {
+        let drain: Vec<(ArtifactKey, Vec<u8>)> = self.lock_pending().drain().collect();
+        self.drain_entries(drain);
+    }
+
+    fn drain_entries(&self, entries: Vec<(ArtifactKey, Vec<u8>)>) {
+        let mut written = 0u64;
+        for (key, entry) in entries {
+            if self.write_entry(key, &entry) {
+                written += 1;
+            }
+        }
+        self.account_writes(written);
+    }
+
     /// Removes oldest-modified entries until at most `capacity`
-    /// remain. Best-effort: unreadable metadata sorts oldest, racing
-    /// removals are fine.
+    /// remain, breaking mtime ties by key so the order is a pure
+    /// function of the store's contents (coarse-granularity
+    /// filesystems stamp whole write bursts with one mtime — without
+    /// the key tie-break, which entry survives would depend on
+    /// directory iteration order). Best-effort: unreadable metadata
+    /// sorts oldest, racing removals are counted by whichever racer's
+    /// `remove_file` succeeds, so `cache.evictions` counts each entry
+    /// once.
     fn evict_to_capacity(&self) {
-        let mut entries: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        let mut entries: Vec<(std::time::SystemTime, String, PathBuf)> = Vec::new();
         let Ok(shards) = std::fs::read_dir(&self.dir) else {
             return;
         };
@@ -357,6 +482,7 @@ impl Cache {
             let Ok(files) = std::fs::read_dir(shard.path()) else {
                 continue;
             };
+            let shard_name = shard.file_name().to_string_lossy().into_owned();
             for f in files.flatten() {
                 let path = f.path();
                 if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXT) {
@@ -366,7 +492,12 @@ impl Cache {
                     .metadata()
                     .and_then(|m| m.modified())
                     .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-                entries.push((mtime, path));
+                // The entry's full hex key: shard prefix + stem.
+                let key = match path.file_stem() {
+                    Some(stem) => format!("{shard_name}{}", stem.to_string_lossy()),
+                    None => continue,
+                };
+                entries.push((mtime, key, path));
             }
         }
         if entries.len() <= self.capacity {
@@ -374,7 +505,7 @@ impl Cache {
         }
         entries.sort();
         let excess = entries.len() - self.capacity;
-        for (_, path) in entries.into_iter().take(excess) {
+        for (_, _, path) in entries.into_iter().take(excess) {
             if std::fs::remove_file(path).is_ok() {
                 obs::counter_add("cache.evictions", 1);
             }
@@ -394,6 +525,12 @@ impl Cache {
             .flatten()
             .filter(|f| f.path().extension().and_then(|e| e.to_str()) == Some(ENTRY_EXT))
             .count()
+    }
+}
+
+impl Drop for Cache {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 

@@ -14,7 +14,19 @@
 //! sfe run       prog.c [input]    # run, then compare estimate vs. profile
 //! sfe suite                       # full pipeline over the 14-program suite
 //! sfe fig10    [program]          # measured speedup-vs-budget curves (Fig 10)
+//! sfe corpus   [flags]            # streaming evaluation over generated corpus
 //! sfe pretty    prog.c            # parse + pretty-print
+//! ```
+//!
+//! `sfe corpus` flags:
+//!
+//! ```text
+//! --count <n>        programs to evaluate (default 1000)
+//! --seed <n>         first generator seed (default 1)
+//! --buckets <spec>   comma-separated strata: recursion,indirect,loopskew,switch (default all)
+//! --jobs <n>         worker threads (default: global pool / SFE_POOL_THREADS)
+//! --mem-budget <mb>  memory budget in MiB driving the backpressure window (default 256)
+//! --naive            run the retained first-cut baseline engine instead
 //! ```
 //!
 //! Global flags (any command):
@@ -111,11 +123,14 @@ fn dispatch(args: &[String], cache_dir: Option<&str>, no_cache: bool, opt_level:
     if args.first().map(String::as_str) == Some("fig10") {
         return fig10_report(args.get(1).map(String::as_str));
     }
+    if args.first().map(String::as_str) == Some("corpus") {
+        return corpus_report(&args[1..], cache_dir);
+    }
     if args.len() < 2 {
         eprintln!(
             "usage: sfe [--trace] [--metrics-out <path>] [--cache-dir <path>] [--no-cache] \
              [--opt-level <n>] \
-             <report|blocks|branches|callsites|dot|run|suite|fig10|pretty> [file.c] [arg]"
+             <report|blocks|branches|callsites|dot|run|suite|fig10|corpus|pretty> [file.c] [arg]"
         );
         return ExitCode::from(2);
     }
@@ -476,6 +491,108 @@ fn fig10_report(which: Option<&str>) -> ExitCode {
             "  static rank order: {}",
             p.static_order[..p.static_order.len().min(6)].join(", ")
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn corpus_report(args: &[String], cache_dir: Option<&str>) -> ExitCode {
+    use bench::corpus::{run_corpus, CorpusConfig, EngineMode, HEURISTICS};
+
+    let mut cfg = CorpusConfig {
+        cache_dir: cache_dir.map(std::path::PathBuf::from),
+        ..CorpusConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> Result<u64, ExitCode> {
+            it.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                eprintln!("sfe: corpus {what} needs a number");
+                ExitCode::from(2)
+            })
+        };
+        match a.as_str() {
+            "--count" => match num("--count") {
+                Ok(n) => cfg.count = n,
+                Err(c) => return c,
+            },
+            "--seed" => match num("--seed") {
+                Ok(n) => cfg.first_seed = n,
+                Err(c) => return c,
+            },
+            "--jobs" => match num("--jobs") {
+                Ok(n) => cfg.jobs = Some((n as usize).clamp(1, 256)),
+                Err(c) => return c,
+            },
+            "--mem-budget" => match num("--mem-budget") {
+                Ok(mb) => cfg.mem_budget_bytes = mb.max(1) * 1024 * 1024,
+                Err(c) => return c,
+            },
+            "--buckets" => match it.next().map(|s| bench::corpus::parse_buckets(s)) {
+                Some(Ok(features)) => cfg.features = features,
+                Some(Err(e)) => {
+                    eprintln!("sfe: {e}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("sfe: corpus --buckets needs a spec");
+                    return ExitCode::from(2);
+                }
+            },
+            "--naive" => cfg.mode = EngineMode::Naive,
+            other => {
+                eprintln!(
+                    "sfe: unknown corpus flag `{other}` (see --count, --seed, --buckets, \
+                     --jobs, --mem-budget, --naive)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let r = run_corpus(&cfg);
+    println!(
+        "corpus: {} engine, {} programs (seeds {}..{})",
+        r.mode.tag(),
+        r.requested,
+        cfg.first_seed,
+        cfg.first_seed + cfg.count
+    );
+    println!(
+        "  evaluated {} | duplicates {} | vm errors {}",
+        r.evaluated, r.duplicates, r.errors
+    );
+    println!(
+        "  {:.1} programs/sec over {:.2} s | latency p50 {:.2} ms p99 {:.2} ms",
+        r.programs_per_sec, r.elapsed_s, r.p50_ms, r.p99_ms
+    );
+    let rss = r.peak_rss_bytes.map_or("n/a".to_string(), |b| {
+        format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0))
+    });
+    println!(
+        "  jobs {} (SFE_POOL_THREADS {}) | window {} | peak rss {}",
+        r.jobs,
+        r.pool_threads_env.as_deref().unwrap_or("unset"),
+        r.window,
+        rss
+    );
+    println!("  aggregate digest {:016x}", r.aggregate_digest());
+    println!();
+    print!("  {:<14} {:>6}", "bucket", "n");
+    for h in HEURISTICS {
+        print!(" {h:>12}");
+    }
+    println!("   (median weight-matching score)");
+    for b in r.buckets.iter().chain(std::iter::once(&r.total)) {
+        print!("  {:<14} {:>6}", b.label, b.count);
+        for q in b.quantiles() {
+            print!(" {:>12.3}", q[1]);
+        }
+        println!();
+    }
+    println!();
+    println!("  quartiles over all programs (p25 / p50 / p75):");
+    for (h, q) in HEURISTICS.iter().zip(r.total.quantiles()) {
+        println!("    {h:<12} {:.3} / {:.3} / {:.3}", q[0], q[1], q[2]);
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,368 @@
+//! Post-hoc structural stratification of generated programs.
+//!
+//! The corpus engine evaluates estimator score distributions over
+//! thousands of generated programs, stratified by the structural
+//! features the paper's heuristics are sensitive to: how much
+//! recursion a run can actually perform, how much of the call traffic
+//! is indirect (invisible to the static call graph), how skewed the
+//! loop trip budgets are, and how switch-heavy the control flow is.
+//!
+//! Features are computed from the generator's own AST ([`Prog`]) after
+//! generation — nothing is steered, so the strata reflect what the
+//! seed-deterministic generator actually produces. Each feature
+//! quantizes into three levels (`lo`/`mid`/`hi`) whose thresholds were
+//! calibrated on seeds `0..4000` so every level holds enough mass that
+//! a few-hundred-program smoke run populates every bucket. A program
+//! lands in exactly one bucket *per selected feature* (marginal
+//! strata, not a cross product — 4 features × 3 levels = 12 buckets,
+//! not 81, so small runs still fill them all).
+
+use crate::gen::{Prog, Stmt};
+
+/// Quantization levels per feature.
+pub const LEVELS: usize = 3;
+
+/// Display names for the three levels, indexed by level.
+pub const LEVEL_NAMES: [&str; LEVELS] = ["lo", "mid", "hi"];
+
+/// Structural features of one generated program, measured from its
+/// AST after generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StructuralFeatures {
+    /// Global recursion fuel: the hard bound on total non-main calls a
+    /// run can make, hence on reachable recursion depth.
+    pub recursion_fuel: u32,
+    /// Indirect calls (`gfp(...)`) as a fraction of all call sites;
+    /// `0.0` when the program makes no calls.
+    pub indirect_call_ratio: f64,
+    /// Max loop trip budget over the mean budget (`1.0` when the
+    /// program has at most one loop): how unevenly the generator
+    /// distributed iteration counts.
+    pub loop_skew: f64,
+    /// `switch` statements per statement.
+    pub switch_density: f64,
+}
+
+impl StructuralFeatures {
+    /// Measures `prog` by walking its statement tree once.
+    pub fn of(prog: &Prog) -> Self {
+        let mut m = Measure::default();
+        for func in &prog.funcs {
+            m.walk(&func.body);
+        }
+        let total_calls = m.direct_calls + m.indirect_calls;
+        let loop_skew = if m.loop_limits.len() > 1 {
+            let max = *m.loop_limits.iter().max().expect("nonempty") as f64;
+            let mean =
+                m.loop_limits.iter().map(|&l| l as f64).sum::<f64>() / m.loop_limits.len() as f64;
+            max / mean
+        } else {
+            1.0
+        };
+        StructuralFeatures {
+            recursion_fuel: prog.fuel,
+            indirect_call_ratio: if total_calls == 0 {
+                0.0
+            } else {
+                m.indirect_calls as f64 / total_calls as f64
+            },
+            loop_skew,
+            switch_density: if m.stmts == 0 {
+                0.0
+            } else {
+                m.switches as f64 / m.stmts as f64
+            },
+        }
+    }
+}
+
+/// Accumulator for one AST walk.
+#[derive(Default)]
+struct Measure {
+    stmts: u64,
+    switches: u64,
+    loop_limits: Vec<u32>,
+    direct_calls: u64,
+    indirect_calls: u64,
+}
+
+impl Measure {
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmts += 1;
+            match s {
+                Stmt::Raw(text) => self.scan_calls(text),
+                Stmt::If(cond, then_b, else_b) => {
+                    self.scan_calls(cond);
+                    self.walk(then_b);
+                    self.walk(else_b);
+                }
+                Stmt::While {
+                    limit, cond, body, ..
+                }
+                | Stmt::DoWhile {
+                    limit, cond, body, ..
+                }
+                | Stmt::For {
+                    limit, cond, body, ..
+                } => {
+                    self.loop_limits.push(*limit);
+                    self.scan_calls(cond);
+                    self.walk(body);
+                }
+                Stmt::Switch { scrut, arms } => {
+                    self.switches += 1;
+                    self.scan_calls(scrut);
+                    for arm in arms {
+                        self.walk(&arm.body);
+                    }
+                }
+                Stmt::Break | Stmt::Continue => {}
+                Stmt::Return(expr) => self.scan_calls(expr),
+                Stmt::BackGoto { limit, body, .. } => {
+                    self.loop_limits.push(*limit);
+                    self.walk(body);
+                }
+                Stmt::FwdGoto { cond, skipped, .. } => {
+                    self.scan_calls(cond);
+                    self.walk(skipped);
+                }
+                Stmt::GotoIntoLoop {
+                    limit,
+                    cond,
+                    before,
+                    after,
+                    ..
+                } => {
+                    self.loop_limits.push(*limit);
+                    self.scan_calls(cond);
+                    self.walk(before);
+                    self.walk(after);
+                }
+            }
+        }
+    }
+
+    /// Counts call sites in one rendered expression/statement string:
+    /// `gfp(` is the (only) indirect form, `f<digits>(` the direct
+    /// form. Identifier characters before a match disqualify it, so
+    /// `sf1(` or `agfp(` never miscount (the generator's own
+    /// identifiers — `v3`, `t2`, `ga`, `lab4` — can't collide).
+    fn scan_calls(&mut self, text: &str) {
+        let b = text.as_bytes();
+        let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+        let mut i = 0;
+        while i < b.len() {
+            let boundary = i == 0 || !is_ident(b[i - 1]);
+            if boundary && b[i..].starts_with(b"gfp(") {
+                self.indirect_calls += 1;
+                i += 4;
+            } else if boundary && b[i] == b'f' {
+                let mut j = i + 1;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j > i + 1 && b.get(j) == Some(&b'(') {
+                    self.direct_calls += 1;
+                    i = j + 1;
+                } else {
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// A stratification feature; each selected feature contributes one
+/// bucket (its level) per program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feature {
+    /// Recursion fuel tertiles over the generator's `40..=140` range.
+    Recursion,
+    /// Indirect-call share of call sites.
+    Indirect,
+    /// Loop trip-budget skew.
+    LoopSkew,
+    /// Switch statements per statement.
+    Switch,
+}
+
+impl Feature {
+    /// Every feature, in canonical (reporting) order.
+    pub const ALL: [Feature; 4] = [
+        Feature::Recursion,
+        Feature::Indirect,
+        Feature::LoopSkew,
+        Feature::Switch,
+    ];
+
+    /// The name used in `--buckets` specs and bucket labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::Recursion => "recursion",
+            Feature::Indirect => "indirect",
+            Feature::LoopSkew => "loopskew",
+            Feature::Switch => "switch",
+        }
+    }
+
+    /// Parses one `--buckets` element (case-insensitive).
+    pub fn parse(s: &str) -> Option<Feature> {
+        Feature::ALL
+            .into_iter()
+            .find(|f| f.name().eq_ignore_ascii_case(s.trim()))
+    }
+
+    /// Quantizes one measured program into this feature's level
+    /// (`0..LEVELS`). Thresholds are fixed constants calibrated on
+    /// seeds `0..4000` so each level carries roughly a fifth of the
+    /// corpus or more — see the module docs.
+    pub fn level(self, f: &StructuralFeatures) -> usize {
+        match self {
+            // Uniform 40..=140 → exact tertiles.
+            Feature::Recursion => match f.recursion_fuel {
+                0..=73 => 0,
+                74..=107 => 1,
+                _ => 2,
+            },
+            // ~55% of programs make no indirect calls (the generator
+            // flips `use_fnptr` per program); the nonzero half splits
+            // near its median ratio.
+            Feature::Indirect => {
+                if f.indirect_call_ratio == 0.0 {
+                    0
+                } else if f.indirect_call_ratio < 0.40 {
+                    1
+                } else {
+                    2
+                }
+            }
+            // Trip budgets are 1..=5; skew = max/mean over the
+            // program's loops.
+            Feature::LoopSkew => {
+                if f.loop_skew < 1.3 {
+                    0
+                } else if f.loop_skew < 1.55 {
+                    1
+                } else {
+                    2
+                }
+            }
+            Feature::Switch => {
+                if f.switch_density == 0.0 {
+                    0
+                } else if f.switch_density < 0.055 {
+                    1
+                } else {
+                    2
+                }
+            }
+        }
+    }
+}
+
+/// Parses a `--buckets` spec: comma-separated feature names, e.g.
+/// `recursion,switch`. Empty or `all` selects every feature.
+///
+/// # Errors
+///
+/// Returns the offending element when it names no feature.
+pub fn parse_buckets(spec: &str) -> Result<Vec<Feature>, String> {
+    let spec = spec.trim();
+    if spec.is_empty() || spec.eq_ignore_ascii_case("all") {
+        return Ok(Feature::ALL.to_vec());
+    }
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let f = Feature::parse(part)
+            .ok_or_else(|| format!("unknown bucket feature {part:?} (expected one of recursion, indirect, loopskew, switch)"))?;
+        if !out.contains(&f) {
+            out.push(f);
+        }
+    }
+    Ok(out)
+}
+
+/// Bucket labels for a feature selection, in index order:
+/// `feature/lo`, `feature/mid`, `feature/hi` per feature.
+pub fn bucket_labels(features: &[Feature]) -> Vec<String> {
+    features
+        .iter()
+        .flat_map(|f| LEVEL_NAMES.iter().map(|lvl| format!("{}/{lvl}", f.name())))
+        .collect()
+}
+
+/// The bucket indices (into [`bucket_labels`] order) one measured
+/// program falls into — exactly one per selected feature.
+pub fn bucket_indices(features: &[Feature], sf: &StructuralFeatures) -> Vec<usize> {
+    features
+        .iter()
+        .enumerate()
+        .map(|(i, f)| i * LEVELS + f.level(sf))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn features_are_deterministic_and_in_range() {
+        for seed in 0..64 {
+            let prog = generate(seed);
+            let a = StructuralFeatures::of(&prog);
+            let b = StructuralFeatures::of(&prog);
+            assert_eq!(a, b);
+            assert!((40..=140).contains(&a.recursion_fuel));
+            assert!((0.0..=1.0).contains(&a.indirect_call_ratio));
+            assert!(a.loop_skew >= 1.0);
+            assert!((0.0..=1.0).contains(&a.switch_density));
+        }
+    }
+
+    #[test]
+    fn no_fnptr_program_measures_zero_indirect_ratio() {
+        let prog = (0..200)
+            .map(generate)
+            .find(|p| !p.use_fnptr)
+            .expect("some seed disables fnptr");
+        assert_eq!(StructuralFeatures::of(&prog).indirect_call_ratio, 0.0);
+    }
+
+    #[test]
+    fn call_scanner_respects_identifier_boundaries() {
+        let mut m = Measure::default();
+        m.scan_calls("v0 = f1(p0, gfp(1, 2)) + sf1(x) + agfp(y) + f12(a, b);");
+        assert_eq!(m.direct_calls, 2, "f1( and f12( only");
+        assert_eq!(m.indirect_calls, 1, "gfp( only, not agfp(");
+    }
+
+    #[test]
+    fn every_level_is_populated_over_a_small_seed_range() {
+        let mut hits = vec![0u32; Feature::ALL.len() * LEVELS];
+        for seed in 0..600 {
+            let sf = StructuralFeatures::of(&generate(seed));
+            for idx in bucket_indices(&Feature::ALL, &sf) {
+                hits[idx] += 1;
+            }
+        }
+        let labels = bucket_labels(&Feature::ALL);
+        for (label, &n) in labels.iter().zip(&hits) {
+            assert!(n >= 20, "bucket {label} underpopulated: {n}/600");
+        }
+    }
+
+    #[test]
+    fn bucket_spec_parsing() {
+        assert_eq!(parse_buckets("all").unwrap(), Feature::ALL.to_vec());
+        assert_eq!(parse_buckets("").unwrap(), Feature::ALL.to_vec());
+        assert_eq!(
+            parse_buckets("switch, Recursion,switch").unwrap(),
+            vec![Feature::Switch, Feature::Recursion],
+        );
+        assert!(parse_buckets("recursion,typo").is_err());
+    }
+}

@@ -34,10 +34,12 @@
 
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod gen;
 pub mod minimize;
 pub mod oracle;
 
+pub use corpus::{Feature, StructuralFeatures};
 pub use gen::{generate, generate_with, GenConfig, Prog};
 pub use minimize::minimize;
 pub use oracle::{check_source, CheckConfig, CheckStats, Failure, FailureKind};

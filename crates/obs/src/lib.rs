@@ -25,6 +25,15 @@
 //!   minic.parse`). Identical shapes from the fourteen parallel suite
 //!   threads therefore merge into one row with a count, exactly what a
 //!   trajectory file wants.
+//! - **Sharded hot path.** Counters and spans record into a
+//!   *per-thread* shard (uncontended lock), and [`snapshot`] merges
+//!   every shard on demand. The corpus engine pushes tens of
+//!   thousands of tiny probes per second through many pool workers;
+//!   with a single global `Mutex` those probes serialize, with shards
+//!   they scale. A shard outlives its thread (the registry holds it
+//!   strongly), so work done on pool workers that have since gone
+//!   idle is never lost. Gauges keep the global registry — last-write
+//!   semantics need a global order anyway.
 //! - **Schema-stable JSON.** [`Metrics::to_json`] emits one object
 //!   with sorted keys (`schema`, then `counters`/`gauges`/`spans`
 //!   maps, which are `BTreeMap`s); [`Metrics::from_json`] reads it
@@ -54,7 +63,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Global on/off switch. `Relaxed` is sufficient: probes only need an
@@ -84,10 +93,21 @@ pub struct SpanStat {
     pub total_ns: u64,
 }
 
+/// One thread's slice of the counter/span state. The owning thread
+/// takes the (uncontended) lock on every probe; [`snapshot`] and
+/// [`reset`] briefly lock each shard to merge or clear it.
 #[derive(Default)]
-struct Registry {
+struct Shard {
     spans: BTreeMap<String, SpanStat>,
     counters: BTreeMap<&'static str, u64>,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Every shard ever created, held strongly so a thread's data
+    /// survives the thread. Bounded by the number of threads the
+    /// process creates (pool workers are long-lived).
+    shards: Vec<Arc<Mutex<Shard>>>,
     gauges: BTreeMap<&'static str, f64>,
 }
 
@@ -106,9 +126,32 @@ fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
     f(&mut guard)
 }
 
+fn lock_shard(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+    match shard.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Runs `f` on the calling thread's shard, registering the shard on
+/// first use.
+fn with_shard<R>(f: impl FnOnce(&mut Shard) -> R) -> R {
+    THREAD_SHARD.with(|cell| {
+        let shard = cell.get_or_init(|| {
+            let shard = Arc::new(Mutex::new(Shard::default()));
+            with_registry(|r| r.shards.push(Arc::clone(&shard)));
+            shard
+        });
+        f(&mut lock_shard(shard))
+    })
+}
+
 thread_local! {
     /// The active span names on this thread, outermost first.
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// This thread's registered shard (lazily created).
+    static THREAD_SHARD: std::cell::OnceCell<Arc<Mutex<Shard>>> =
+        const { std::cell::OnceCell::new() };
 }
 
 /// An RAII span timer created by [`span`]. While telemetry is
@@ -145,8 +188,8 @@ impl Drop for Span {
         });
         // Recording stays active even if collection was switched off
         // mid-span, so every push has a matching aggregate.
-        with_registry(|r| {
-            let stat = r.spans.entry(path).or_default();
+        with_shard(|s| {
+            let stat = s.spans.entry(path).or_default();
             stat.count += 1;
             stat.total_ns += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         });
@@ -160,7 +203,7 @@ pub fn counter_add(name: &'static str, delta: u64) {
     if !enabled() {
         return;
     }
-    with_registry(|r| *r.counters.entry(name).or_insert(0) += delta);
+    with_shard(|s| *s.counters.entry(name).or_insert(0) += delta);
 }
 
 /// Sets gauge `name` to `value`, keeping the last write (no-op while
@@ -194,11 +237,15 @@ pub fn gauge_max(name: &'static str, value: f64) {
 /// Clears every span, counter, and gauge (collection state is
 /// unchanged). Tests and benches call this between scenarios.
 pub fn reset() {
-    with_registry(|r| {
-        r.spans.clear();
-        r.counters.clear();
+    let shards = with_registry(|r| {
         r.gauges.clear();
+        r.shards.clone()
     });
+    for shard in shards {
+        let mut s = lock_shard(&shard);
+        s.spans.clear();
+        s.counters.clear();
+    }
 }
 
 /// An immutable snapshot of the registry.
@@ -212,18 +259,57 @@ pub struct Metrics {
     pub gauges: BTreeMap<String, f64>,
 }
 
-/// Snapshots the registry (spans currently on some thread's stack are
-/// not yet included — they record on drop).
+/// Snapshots the registry, merging every thread's shard (spans
+/// currently on some thread's stack are not yet included — they
+/// record on drop).
 pub fn snapshot() -> Metrics {
-    with_registry(|r| Metrics {
-        spans: r.spans.clone(),
-        counters: r
-            .counters
-            .iter()
-            .map(|(k, v)| (k.to_string(), *v))
-            .collect(),
-        gauges: r.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
-    })
+    let (shards, gauges) = with_registry(|r| {
+        (
+            r.shards.clone(),
+            r.gauges
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect::<BTreeMap<String, f64>>(),
+        )
+    });
+    let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    for shard in shards {
+        let s = lock_shard(&shard);
+        for (path, stat) in &s.spans {
+            let agg = spans.entry(path.clone()).or_default();
+            agg.count += stat.count;
+            agg.total_ns += stat.total_ns;
+        }
+        for (name, v) in &s.counters {
+            *counters.entry(name.to_string()).or_insert(0) += v;
+        }
+    }
+    Metrics {
+        spans,
+        counters,
+        gauges,
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where that interface is absent.
+/// The corpus bench reports this against its documented memory
+/// budget.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Resets the peak-RSS high-water mark (`echo 5 > /proc/self/clear_refs`)
+/// so back-to-back measurement regions in one process don't inherit
+/// each other's peaks. Returns whether the kernel accepted the reset;
+/// when it didn't, [`peak_rss_bytes`] still reports the process-wide
+/// peak (an upper bound for any later region).
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
 /// The schema tag emitted by [`Metrics::to_json`]; bump when the
@@ -455,6 +541,34 @@ mod tests {
         let m = snapshot();
         assert_eq!(m.counters["work.items"], 40);
         assert_eq!(m.spans["worker"].count, 4);
+    }
+
+    #[test]
+    fn shard_data_survives_its_thread() {
+        let _guard = serial();
+        reset();
+        set_enabled(true);
+        std::thread::spawn(|| {
+            let _sp = span("ephemeral");
+            counter_add("ephemeral.items", 3);
+        })
+        .join()
+        .unwrap();
+        set_enabled(false);
+        let m = snapshot();
+        assert_eq!(m.counters["ephemeral.items"], 3);
+        assert_eq!(m.spans["ephemeral"].count, 1);
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(rss) = peak_rss_bytes() {
+            // Any live Rust process has megabytes resident; the probe
+            // must not misparse units.
+            assert!(rss > 1 << 20, "peak RSS {rss} implausibly small");
+        } else if cfg!(target_os = "linux") {
+            panic!("VmHWM must parse on Linux");
+        }
     }
 
     #[test]

@@ -264,6 +264,25 @@ impl Pool {
         }
     }
 
+    /// Claims and runs one queued task, if any — local deque first,
+    /// then the injector, then stealing. Returns whether a task ran.
+    ///
+    /// This is the building block for *producer helping*: a thread
+    /// blocked on backpressure (see [`Gate`]) executes queued work
+    /// instead of sleeping, so a saturated single-worker pool can
+    /// never deadlock against its own producer.
+    pub fn help_one(&self) -> bool {
+        let local = self.shared.local_index();
+        let mut rot = local.unwrap_or(0) + 1;
+        match self.shared.find_task(local, &mut rot) {
+            Some(ptr) => {
+                self.shared.run(ptr);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Runs `f` with a [`Scope`] on which tasks can be spawned, then
     /// blocks until every task spawned into the scope (transitively —
     /// tasks may spawn more tasks) has finished. Tasks may borrow
@@ -417,6 +436,82 @@ impl<'scope> Scope<'scope> {
                     .unwrap();
             }
         }
+    }
+}
+
+/// A counting backpressure gate: at most `limit` permits outstanding.
+///
+/// The corpus engine acquires a permit per generated program and
+/// releases it when the program's results are drained, so generation
+/// can never outrun execution by more than the window. While the gate
+/// is full, [`Gate::acquire`] *helps* the pool (executes queued
+/// tasks) rather than sleeping — on a one-worker pool the producer
+/// thread becomes the consumer, and throughput degrades gracefully
+/// instead of deadlocking.
+pub struct Gate {
+    limit: usize,
+    held: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    /// A gate admitting at most `limit` outstanding permits (clamped
+    /// to at least 1).
+    pub fn new(limit: usize) -> Gate {
+        Gate {
+            limit: limit.max(1),
+            held: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Maximum outstanding permits.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Permits currently held.
+    pub fn in_flight(&self) -> usize {
+        *self.held.lock().unwrap()
+    }
+
+    /// Blocks until a permit is free, executing tasks from `pool`
+    /// while waiting.
+    pub fn acquire(&self, pool: &Pool) {
+        loop {
+            {
+                let mut held = self.held.lock().unwrap();
+                if *held < self.limit {
+                    *held += 1;
+                    return;
+                }
+            }
+            if !pool.help_one() {
+                // Nothing runnable: the permits we are waiting on are
+                // executing on workers. Park briefly; `release`
+                // notifies.
+                let held = self.held.lock().unwrap();
+                if *held >= self.limit {
+                    let _unused = self
+                        .freed
+                        .wait_timeout(held, Duration::from_micros(200))
+                        .unwrap();
+                }
+            }
+        }
+    }
+
+    /// Returns one permit.
+    ///
+    /// # Panics
+    ///
+    /// If called without a matching [`Gate::acquire`].
+    pub fn release(&self) {
+        let mut held = self.held.lock().unwrap();
+        assert!(*held > 0, "Gate::release without a held permit");
+        *held -= 1;
+        drop(held);
+        self.freed.notify_one();
     }
 }
 
@@ -578,6 +673,53 @@ mod tests {
         // Spawned from a non-worker thread: everything was injected
         // or stolen; both counters are advisory but tasks is exact.
         assert!(stats.injected > 0);
+    }
+
+    #[test]
+    fn gate_bounds_in_flight_and_never_deadlocks() {
+        // One worker + a producer acquiring before each spawn: the
+        // producer must help-execute once the window fills.
+        for workers in [1, 3] {
+            let pool = Pool::new(workers);
+            let gate = Gate::new(3);
+            let current = AtomicU64::new(0);
+            let peak = AtomicU64::new(0);
+            let ran = AtomicU64::new(0);
+            pool.scope(|s| {
+                for _ in 0..100 {
+                    gate.acquire(&pool);
+                    let (current, peak, ran, gate) = (&current, &peak, &ran, &gate);
+                    s.spawn(move |_| {
+                        let c = current.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(c, Ordering::SeqCst);
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        current.fetch_sub(1, Ordering::SeqCst);
+                        gate.release();
+                    });
+                }
+            });
+            assert_eq!(ran.load(Ordering::SeqCst), 100);
+            assert!(peak.load(Ordering::SeqCst) <= 3, "window exceeded");
+            assert_eq!(gate.in_flight(), 0, "all permits returned");
+        }
+    }
+
+    #[test]
+    fn help_one_executes_queued_work_from_the_caller() {
+        let pool = Pool::new(1);
+        let ran = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let ran = &ran;
+                s.spawn(move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Help until the queue is visibly drained from here; the
+            // worker may race us for tasks, which is the point.
+            while pool.help_one() {}
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 8);
     }
 
     #[test]

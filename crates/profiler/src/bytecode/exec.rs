@@ -73,17 +73,66 @@ struct Vm<'a> {
     fmt_out: String,
 }
 
+/// Reusable per-run VM buffers: the data image copy, stack, register
+/// file, frame stack, dense block/edge counters, and builtin string
+/// buffers. One run of a ~12k-step generated program otherwise pays
+/// ten-plus allocations; a corpus run re-executing thousands of
+/// programs on one scratch pays them once and then only grows to the
+/// high-water mark. Buffers that escape into the [`RunOutcome`]
+/// (profile vectors, output) still allocate per run.
+#[derive(Default)]
+pub struct ExecScratch {
+    data: Vec<Value>,
+    stack: Vec<Value>,
+    regs: Vec<Value>,
+    frames: Vec<Frame>,
+    blocks: Vec<u64>,
+    edges: Vec<u64>,
+    sbuf_a: String,
+    sbuf_b: String,
+    fmt_out: String,
+}
+
 pub(super) fn execute(
     cp: &CompiledProgram,
     config: &RunConfig,
 ) -> Result<RunOutcome, RuntimeError> {
+    execute_in(cp, config, &mut ExecScratch::default())
+}
+
+pub(super) fn execute_in(
+    cp: &CompiledProgram,
+    config: &RunConfig,
+    scratch: &mut ExecScratch,
+) -> Result<RunOutcome, RuntimeError> {
     let main = cp.main.ok_or(RuntimeError::NoMain)?;
+    // Move the recycled buffers into the Vm (pointer swaps), reset
+    // their contents, and hand them back below. `clear` + zero-fill
+    // keeps each buffer's capacity.
+    let mut data = std::mem::take(&mut scratch.data);
+    data.clear();
+    data.extend_from_slice(&cp.data_image);
+    let mut stack = std::mem::take(&mut scratch.stack);
+    stack.clear();
+    let mut regs = std::mem::take(&mut scratch.regs);
+    regs.clear();
+    let mut frames = std::mem::take(&mut scratch.frames);
+    frames.clear();
+    let mut blocks = std::mem::take(&mut scratch.blocks);
+    blocks.clear();
+    blocks.resize(
+        cp.block_lens.iter().map(|&n| n as u64).sum::<u64>() as usize,
+        0,
+    );
+    let mut edges = std::mem::take(&mut scratch.edges);
+    edges.clear();
+    edges.resize(cp.edge_keys.len(), 0);
     let mut vm = Vm {
         cp,
-        data: cp.data_image.clone(),
-        stack: Vec::new(),
-        regs: Vec::new(),
-        frames: Vec::new(),
+        data,
+        stack,
+        regs,
+        frames,
         fp: 0,
         rp: 0,
         cur_fn: main.0 as usize,
@@ -95,21 +144,17 @@ pub(super) fn execute(
         input_pos: 0,
         output: Vec::new(),
         rng: 0x2545F4914F6CDD1D,
-        blocks: vec![0; cp.block_lens.iter().map(|&n| n as u64).sum::<u64>() as usize],
-        edges: vec![0; cp.edge_keys.len()],
+        blocks,
+        edges,
         branches: vec![(0, 0); cp.n_branches],
         sites: vec![0; cp.n_sites],
         func_counts: vec![0; cp.funcs.len()],
         func_cost: vec![0; cp.funcs.len()],
-        sbuf_a: String::new(),
-        sbuf_b: String::new(),
-        fmt_out: String::new(),
+        sbuf_a: std::mem::take(&mut scratch.sbuf_a),
+        sbuf_b: std::mem::take(&mut scratch.sbuf_b),
+        fmt_out: std::mem::take(&mut scratch.fmt_out),
     };
-    let exit_code = match vm.run(main.0 as usize) {
-        Ok(code) => code,
-        Err(VmAbort::Exit(code)) => code,
-        Err(VmAbort::Error(e)) => return Err(e),
-    };
+    let run_result = vm.run(main.0 as usize);
 
     let mut profile = cp.empty_profile();
     for (f, counts) in profile.block_counts.iter_mut().enumerate() {
@@ -126,6 +171,22 @@ pub(super) fn execute(
             profile.edge_counts.insert(cp.edge_keys[i], c);
         }
     }
+
+    scratch.data = vm.data;
+    scratch.stack = vm.stack;
+    scratch.regs = vm.regs;
+    scratch.frames = vm.frames;
+    scratch.blocks = vm.blocks;
+    scratch.edges = vm.edges;
+    scratch.sbuf_a = vm.sbuf_a;
+    scratch.sbuf_b = vm.sbuf_b;
+    scratch.fmt_out = vm.fmt_out;
+
+    let exit_code = match run_result {
+        Ok(code) => code,
+        Err(VmAbort::Exit(code)) => code,
+        Err(VmAbort::Error(e)) => return Err(e),
+    };
     Ok(RunOutcome {
         exit_code,
         profile,

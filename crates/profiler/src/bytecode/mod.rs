@@ -34,7 +34,7 @@
 mod compile;
 mod exec;
 
-pub use exec::{arith, cmp_vals};
+pub use exec::{arith, cmp_vals, ExecScratch};
 
 use crate::interp::{RunConfig, RunOutcome, RuntimeError, TyClass, Value};
 use crate::profile::Profile;
@@ -579,6 +579,69 @@ impl CompiledProgram {
             }
         }
         out
+    }
+
+    /// [`Self::execute`] with caller-owned VM buffers: corpus-scale
+    /// drivers that execute thousands of programs back-to-back keep
+    /// one [`ExecScratch`] per worker and skip the per-run stack /
+    /// register / counter-array allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`RuntimeError`]s as [`Self::execute`].
+    pub fn execute_in(
+        &self,
+        config: &RunConfig,
+        scratch: &mut ExecScratch,
+    ) -> Result<RunOutcome, RuntimeError> {
+        let _sp = obs::span("profiler.execute");
+        let out = exec::execute_in(self, config, scratch);
+        if obs::enabled() {
+            obs::counter_add("profiler.runs", 1);
+            if let Ok(o) = &out {
+                obs::counter_add("profiler.steps", o.steps);
+            }
+        }
+        out
+    }
+
+    /// 128-bit fingerprint of the post-fold IR: everything execution
+    /// reads (ops, function metadata, switch tables, data image,
+    /// initializer images). Two programs with the same fingerprint
+    /// are observationally identical on every input, so corpus
+    /// deduplication counts them once.
+    ///
+    /// Unlike the process-local compile-cache fingerprint, this one
+    /// uses a fixed FNV-1a construction (the same as the artifact
+    /// cache's key hash) and is stable across processes and runs.
+    pub fn ir_fingerprint(&self) -> u128 {
+        /// Two independently-salted 64-bit FNV-1a streams fed from one
+        /// `Debug` rendering, without materializing the string.
+        struct Fnv2 {
+            a: u64,
+            b: u64,
+        }
+        impl std::fmt::Write for Fnv2 {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                for &byte in s.as_bytes() {
+                    self.a = (self.a ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+                    self.b = (self.b ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+                }
+                Ok(())
+            }
+        }
+        let mut h = Fnv2 {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0xcbf2_9ce4_8422_2325 ^ 0x9E37_79B9_7F4A_7C15,
+        };
+        use std::fmt::Write as _;
+        write!(
+            h,
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.ops, self.funcs, self.main, self.switch_tables, self.images, self.data_image,
+        )
+        .expect("hashing cannot fail");
+        ((h.a as u128) << 64) | h.b as u128
     }
 
     /// Summary sizes of the compiled image: `(ops, funcs, blocks,

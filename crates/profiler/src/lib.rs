@@ -37,7 +37,7 @@ pub mod cost;
 pub mod interp;
 pub mod profile;
 
-pub use bytecode::{compile, run, CompiledProgram};
+pub use bytecode::{compile, run, CompiledProgram, ExecScratch};
 pub use interp::{run_ast, RunConfig, RunOutcome, RuntimeError, Value};
 pub use profile::{aggregate, AggregateProfile, Profile};
 

@@ -1,0 +1,150 @@
+//! Resident-service trajectory: loads the whole benchmark suite into
+//! a fresh `ServeDb` (the full-pipeline denominator), applies a
+//! single-function edit to `compress` and asserts the incremental
+//! update does < 10% of the cold work with byte-identical estimates,
+//! then drives an in-process request storm and asserts the
+//! throughput floor. Appends one `serve/v1` row to
+//! `BENCH_pipeline.json`. Run with `cargo bench -p bench --bench
+//! serve` (`BENCH_QUICK=1` shrinks the storm for CI).
+//!
+//! Schema (`serve/v1`): `full_units`/`inc_units` are deterministic
+//! work counters (basic blocks lowered + flow systems solved +
+//! interprocedural propagation units; see
+//! `serve::db::WorkCounters::total_units`), so `inc_ratio` is a
+//! scheduling-independent measure of how much of the pipeline an
+//! update re-runs. `qps`/`p50_us`/`p99_us` come from the storm;
+//! `digest`/`db_digest` pin the storm's responses and the final
+//! database state so bench-bot diffs catch semantic drift, not just
+//! performance drift.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serve::db::ServeDb;
+use serve::edits::edit_function_source;
+use serve::storm::{run_in_process, StormConfig};
+use std::sync::Arc;
+
+fn quick() -> bool {
+    std::env::var_os("SERVE_BENCH_QUICK").is_some() || std::env::var_os("BENCH_QUICK").is_some()
+}
+
+fn record_trajectory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    let mut recorded = false;
+    group.bench_function("record_json", |b| {
+        b.iter(|| {
+            if !recorded {
+                recorded = true;
+                write_trajectory();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn write_trajectory() {
+    // Full-pipeline denominator: cold-load every suite program into a
+    // fresh database and sum the work units.
+    let db = Arc::new(ServeDb::new(None, None));
+    let programs = suite::all();
+    let mut full_units = 0u64;
+    for p in &programs {
+        let outcome = db
+            .upsert_with_inputs(p.name, p.source, Some(p.inputs()))
+            .unwrap_or_else(|e| panic!("cold load of {} failed: {e:?}", p.name));
+        full_units += outcome.work.total_units();
+    }
+
+    // Single-function edit: the incremental update must redo < 10% of
+    // the cold suite load.
+    let compress = suite::by_name("compress").expect("compress in suite");
+    let edited =
+        edit_function_source(compress.source, 3).expect("compress has a 4th defined function");
+    let inc = db
+        .upsert("compress", &edited)
+        .expect("incremental update of compress");
+    let inc_units = inc.work.total_units();
+    let inc_ratio = inc_units as f64 / full_units as f64;
+    assert!(
+        inc.work.funcs_reused > 0 && inc.work.funcs_lowered < inc.funcs as u64,
+        "update re-lowered the whole module: {:?}",
+        inc.work
+    );
+    assert!(
+        inc_ratio < 0.10,
+        "single-function update did {inc_units} of {full_units} units \
+         ({:.1}% — incremental contract is < 10%)",
+        inc_ratio * 100.0
+    );
+
+    // Byte-identical contract, in-bench: a cold database loaded with
+    // the edited source must land on the same per-program estimate
+    // digests (state_digest folds every materialized frequency).
+    let cold = Arc::new(ServeDb::new(None, None));
+    for p in &programs {
+        let src = if p.name == "compress" {
+            edited.as_str()
+        } else {
+            p.source
+        };
+        cold.upsert_with_inputs(p.name, src, Some(p.inputs()))
+            .unwrap_or_else(|e| panic!("cold reload of {} failed: {e:?}", p.name));
+    }
+    assert_eq!(
+        db.state_digest(),
+        cold.state_digest(),
+        "incremental update diverged from cold recompute"
+    );
+
+    // Request storm against the resident database. The floor is far
+    // below measured release throughput but high enough to catch an
+    // accidental full-recompute on the hot path.
+    let config = StormConfig {
+        clients: 4,
+        requests: if quick() { 60 } else { 150 },
+        seed: 1,
+        update_pct: 20,
+    };
+    let report = run_in_process(&config, &db);
+    assert_eq!(report.errors, 0, "storm saw errors: {report:?}");
+    assert!(
+        report.qps >= 500.0,
+        "storm throughput collapsed: {:.1} q/s (floor 500)",
+        report.qps
+    );
+
+    let entry = format!(
+        "{{\"schema\": \"serve/v1\", \"suite_programs\": {}, \
+          \"full_units\": {full_units}, \"inc_units\": {inc_units}, \
+          \"inc_ratio\": {inc_ratio:.4}, \
+          \"clients\": {}, \"requests\": {}, \"jobs\": {}, \
+          \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+          \"errors\": {}, \"digest\": \"{:016x}\", \"db_digest\": \"{}\"}}",
+        programs.len(),
+        config.clients,
+        report.total_requests,
+        db.workers(),
+        report.qps,
+        report.p50_us,
+        report.p99_us,
+        report.errors,
+        report.digest,
+        report
+            .db_digest
+            .map(|d| format!("{d:032x}"))
+            .unwrap_or_else(|| "none".into()),
+    );
+    println!("serve/record_json: {entry}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    let prior = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = prior.trim().trim_end_matches(']').trim_end_matches('\n');
+    let body = if trimmed.is_empty() || trimmed == "[" {
+        format!("[\n  {entry}\n]\n")
+    } else {
+        format!("{},\n  {entry}\n]\n", trimmed.trim_end_matches(','))
+    };
+    std::fs::write(path, body).expect("writing BENCH_pipeline.json");
+}
+
+criterion_group!(benches, record_trajectory);
+criterion_main!(benches);

@@ -16,6 +16,36 @@
 //! sfe fig10    [program]          # measured speedup-vs-budget curves (Fig 10)
 //! sfe corpus   [flags]            # streaming evaluation over generated corpus
 //! sfe pretty    prog.c            # parse + pretty-print
+//! sfe serve    [flags]            # resident estimator service (JSON-RPC)
+//! sfe storm    [flags]            # synthetic-client load driver for the service
+//! ```
+//!
+//! `sfe serve` flags:
+//!
+//! ```text
+//! --addr <host:port>  serve over TCP instead of stdin/stdout
+//! --suite             preload the 14 suite programs (with their inputs)
+//! --jobs <n>          worker threads for per-function fan-out
+//! ```
+//!
+//! The service speaks the `serve/v1` NDJSON protocol (one request and
+//! one response per line; see crate `serve`): `load`/`update` compile
+//! a program into the incremental database, `estimate`/`profile`/
+//! `score` read from it, `shutdown` drains and exits. An `update` that
+//! edits one function recomputes only that function's CFG and flow
+//! solves; everything untouched is reused, bit for bit.
+//!
+//! `sfe storm` flags:
+//!
+//! ```text
+//! --clients <n>        concurrent clients (default 4)
+//! --requests <n>       requests per client (default 100)
+//! --seed <n>           workload seed (default 1)
+//! --update-pct <n>     percentage of requests that are updates (default 20)
+//! --jobs <n>           worker threads for the in-process database
+//! --addr <host:port>   drive a live daemon instead of an in-process database
+//! --assert-qps <x>     exit nonzero if sustained q/s falls below x
+//! --assert-p99-ms <x>  exit nonzero if p99 latency exceeds x milliseconds
 //! ```
 //!
 //! `sfe corpus` flags:
@@ -126,11 +156,18 @@ fn dispatch(args: &[String], cache_dir: Option<&str>, no_cache: bool, opt_level:
     if args.first().map(String::as_str) == Some("corpus") {
         return corpus_report(&args[1..], cache_dir);
     }
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_cmd(&args[1..], cache_dir, no_cache);
+    }
+    if args.first().map(String::as_str) == Some("storm") {
+        return storm_cmd(&args[1..]);
+    }
     if args.len() < 2 {
         eprintln!(
             "usage: sfe [--trace] [--metrics-out <path>] [--cache-dir <path>] [--no-cache] \
              [--opt-level <n>] \
-             <report|blocks|branches|callsites|dot|run|suite|fig10|corpus|pretty> [file.c] [arg]"
+             <report|blocks|branches|callsites|dot|run|suite|fig10|corpus|pretty|serve|storm> \
+             [file.c] [arg]"
         );
         return ExitCode::from(2);
     }
@@ -595,4 +632,212 @@ fn corpus_report(args: &[String], cache_dir: Option<&str>) -> ExitCode {
         println!("    {h:<12} {:.3} / {:.3} / {:.3}", q[0], q[1], q[2]);
     }
     ExitCode::SUCCESS
+}
+
+/// `sfe serve`: run the resident estimator service (crate `serve`)
+/// over stdin/stdout, or over TCP with `--addr`.
+fn serve_cmd(args: &[String], cache_dir: Option<&str>, no_cache: bool) -> ExitCode {
+    use serve::db::ServeDb;
+
+    let mut addr: Option<String> = None;
+    let mut jobs: Option<usize> = None;
+    let mut preload_suite = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => {
+                    eprintln!("sfe: serve --addr needs host:port");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" => match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) if n > 0 => jobs = Some(n),
+                _ => {
+                    eprintln!("sfe: serve --jobs needs a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--suite" => preload_suite = true,
+            other => {
+                eprintln!("sfe: unknown serve flag `{other}` (see --addr, --jobs, --suite)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cache = match (no_cache, cache_dir) {
+        (true, _) | (false, None) => None,
+        (false, Some(dir)) => match cache::Cache::open(dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("sfe: cannot open cache {dir}: {e} (serving uncached)");
+                None
+            }
+        },
+    };
+    let db = std::sync::Arc::new(ServeDb::new(jobs, cache));
+    if preload_suite {
+        for p in suite::all() {
+            if let Err(e) = db.upsert_with_inputs(p.name, p.source, Some(p.inputs())) {
+                eprintln!("sfe: suite preload failed for {}: {}", p.name, e.message());
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "sfe serve: preloaded {} suite programs",
+            db.program_names().len()
+        );
+    }
+
+    match addr {
+        None => match serve::server::serve_stdio(&db) {
+            Ok(n) => {
+                db.flush_cache();
+                eprintln!("sfe serve: handled {n} requests");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sfe serve: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(addr) => match serve::server::spawn_tcp(db, &addr) {
+            Ok(server) => {
+                // Parsed by scripts (the CI smoke step) to discover the
+                // bound port when `:0` was requested.
+                println!("sfe serve: listening on {}", server.addr());
+                match server.join() {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("sfe serve: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("sfe serve: cannot bind {addr}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
+/// `sfe storm`: drive the service with the deterministic synthetic
+/// workload and report q/s, latency percentiles, and digests. With
+/// `--assert-qps` / `--assert-p99-ms` the exit code gates CI.
+fn storm_cmd(args: &[String]) -> ExitCode {
+    use serve::storm::{run_in_process, run_tcp, StormConfig};
+
+    let mut config = StormConfig::default();
+    let mut jobs: Option<usize> = None;
+    let mut addr: Option<String> = None;
+    let mut assert_qps: Option<f64> = None;
+    let mut assert_p99_ms: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |what: &str| -> Option<u64> {
+            match it.next().map(|s| s.parse()) {
+                Some(Ok(n)) => Some(n),
+                _ => {
+                    eprintln!("sfe: storm {what} needs a number");
+                    None
+                }
+            }
+        };
+        match a.as_str() {
+            "--clients" => match num("--clients") {
+                Some(n) if n > 0 => config.clients = n as usize,
+                _ => return ExitCode::from(2),
+            },
+            "--requests" => match num("--requests") {
+                Some(n) => config.requests = n as usize,
+                None => return ExitCode::from(2),
+            },
+            "--seed" => match num("--seed") {
+                Some(n) => config.seed = n,
+                None => return ExitCode::from(2),
+            },
+            "--update-pct" => match num("--update-pct") {
+                Some(n) if n <= 100 => config.update_pct = n as u32,
+                _ => return ExitCode::from(2),
+            },
+            "--jobs" => match num("--jobs") {
+                Some(n) if n > 0 => jobs = Some(n as usize),
+                _ => return ExitCode::from(2),
+            },
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => {
+                    eprintln!("sfe: storm --addr needs host:port");
+                    return ExitCode::from(2);
+                }
+            },
+            "--assert-qps" => match it.next().map(|s| s.parse()) {
+                Some(Ok(x)) => assert_qps = Some(x),
+                _ => {
+                    eprintln!("sfe: storm --assert-qps needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--assert-p99-ms" => match it.next().map(|s| s.parse()) {
+                Some(Ok(x)) => assert_p99_ms = Some(x),
+                _ => {
+                    eprintln!("sfe: storm --assert-p99-ms needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "sfe: unknown storm flag `{other}` (see --clients, --requests, --seed, \
+                     --update-pct, --jobs, --addr, --assert-qps, --assert-p99-ms)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (report, jobs_used) = match addr {
+        Some(addr) => match run_tcp(&config, &addr) {
+            Ok(r) => (r, 0),
+            Err(e) => {
+                eprintln!("sfe storm: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let db = std::sync::Arc::new(serve::db::ServeDb::new(jobs, None));
+            let jobs_used = db.workers();
+            (run_in_process(&config, &db), jobs_used)
+        }
+    };
+
+    println!("{}", report.to_value(&config, jobs_used));
+
+    let mut ok = true;
+    if report.errors > 0 {
+        eprintln!("sfe storm: {} error responses", report.errors);
+        ok = false;
+    }
+    if let Some(min) = assert_qps {
+        if report.qps < min {
+            eprintln!("sfe storm: qps {:.1} below floor {min}", report.qps);
+            ok = false;
+        }
+    }
+    if let Some(max) = assert_p99_ms {
+        if report.p99_us as f64 / 1000.0 > max {
+            eprintln!(
+                "sfe storm: p99 {:.2} ms above ceiling {max} ms",
+                report.p99_us as f64 / 1000.0
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

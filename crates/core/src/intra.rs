@@ -143,6 +143,20 @@ fn estimate_with(
     estimate_with_trips(program, f, which, predictions, options, &HashMap::new())
 }
 
+/// Estimates one function's block frequencies against caller-supplied
+/// module predictions — the unit of recomputation of the incremental
+/// serve database, which computes predictions once per update and then
+/// solves only the functions whose fingerprints changed.
+pub fn estimate_function_with(
+    program: &Program,
+    f: FuncId,
+    which: IntraEstimator,
+    predictions: &HashMap<BranchId, Prediction>,
+    options: &IntraOptions,
+) -> Vec<f64> {
+    estimate_with(program, f, which, predictions, options)
+}
+
 fn estimate_with_trips(
     program: &Program,
     f: FuncId,

@@ -21,6 +21,15 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// The id stride reserved per top-level declaration: the parser aligns
+/// the generator to the next multiple before each item, so every
+/// declaration owns a private id namespace. A declaration whose text is
+/// unchanged between two parses of an edited translation unit therefore
+/// keeps the *same* node ids as long as its ordinal position is stable —
+/// the property the incremental serve database relies on to reuse
+/// per-function artifacts keyed by `NodeId` across edits.
+pub const DECL_ID_STRIDE: u32 = 1 << 20;
+
 /// Hands out fresh [`NodeId`]s.
 #[derive(Debug, Default)]
 pub struct NodeIdGen {
@@ -38,6 +47,25 @@ impl NodeIdGen {
         let id = NodeId(self.next);
         self.next += 1;
         id
+    }
+
+    /// Rounds the next id up to a multiple of `stride` and returns it.
+    /// Ids stay unique (never reused) even when the multiple would
+    /// overflow `u32` — alignment is then skipped and allocation simply
+    /// continues sequentially, trading id stability for correctness on
+    /// pathological (> 4k-declaration) units.
+    pub fn align(&mut self, stride: u32) -> NodeId {
+        let stride = stride.max(1);
+        if !self.next.is_multiple_of(stride) {
+            if let Some(aligned) = self
+                .next
+                .checked_add(stride - 1)
+                .map(|n| n / stride * stride)
+            {
+                self.next = aligned;
+            }
+        }
+        NodeId(self.next)
     }
 
     /// Number of ids handed out so far (== one past the largest).

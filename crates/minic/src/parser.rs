@@ -32,6 +32,11 @@ pub fn parse(src: &str) -> Result<Unit, CompileError> {
     };
     let mut items = Vec::new();
     while !p.at_eof() {
+        // Give each top-level declaration its own id namespace (see
+        // [`DECL_ID_STRIDE`]): an unchanged declaration at an unchanged
+        // ordinal re-parses to identical node ids, which is what lets
+        // the incremental database reuse its side-table-keyed artifacts.
+        p.ids.align(DECL_ID_STRIDE);
         items.push(p.item()?);
     }
     Ok(Unit {

@@ -23,6 +23,22 @@ pub fn print_unit(unit: &Unit) -> String {
     p.out
 }
 
+/// Pretty-prints one top-level item. The serve database fingerprints
+/// declarations with this: two parses whose items print identically
+/// (at the same ordinal) are guaranteed to carry identical node ids,
+/// so the canonical text is a sound content key for per-declaration
+/// derived artifacts.
+pub fn print_item(item: &Item) -> String {
+    let mut p = Printer::new();
+    match item {
+        Item::Struct(sd) => p.struct_decl(sd),
+        Item::Enum(ed) => p.enum_decl(ed),
+        Item::Globals(decls) => p.globals(decls),
+        Item::Function(fd) => p.function(fd),
+    }
+    p.out
+}
+
 /// Pretty-prints a single expression.
 pub fn print_expr(e: &Expr) -> String {
     let mut p = Printer::new();

@@ -303,6 +303,18 @@ pub fn peak_rss_bytes() -> Option<u64> {
     Some(kb * 1024)
 }
 
+/// Current resident set size of this process in bytes (`VmRSS` from
+/// `/proc/self/status`), or `None` where that interface is absent.
+/// Unlike [`peak_rss_bytes`] this is not monotonic, which is what the
+/// serve soak test needs: sampling it over a long-lived session
+/// distinguishes steady-state churn from genuine retention growth.
+pub fn current_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Resets the peak-RSS high-water mark (`echo 5 > /proc/self/clear_refs`)
 /// so back-to-back measurement regions in one process don't inherit
 /// each other's peaks. Returns whether the kernel accepted the reset;

@@ -199,15 +199,13 @@ impl<'p> Compiler<'p> {
     // ----- small helpers -----
 
     fn nty(&self, e: &Expr) -> NodeTy {
-        self.tables
-            .ty
-            .get(e.id.0 as usize)
-            .copied()
-            .unwrap_or(NodeTy::DEFAULT)
+        self.tables.ty(e.id)
     }
 
     fn resolution(&self, e: &Expr) -> Resolution {
-        self.tables.resolution[e.id.0 as usize].expect("sema resolved every name")
+        self.tables
+            .resolution(e.id)
+            .expect("sema resolved every name")
     }
 
     fn touch(&mut self, r: u16) {
@@ -1058,7 +1056,7 @@ impl<'p> Compiler<'p> {
                 Place::Reg(scratch)
             }
             ExprKind::Member(base, _, arrow) => {
-                let off = self.tables.member_off[e.id.0 as usize];
+                let off = self.tables.member_off(e.id);
                 if off == NONE32 {
                     self.fail(RuntimeError::Other("member on non-struct".into()));
                     return Place::Reg(scratch);
@@ -1161,7 +1159,7 @@ impl<'p> Compiler<'p> {
                 });
             }
             ExprKind::StrLit(_) => {
-                let idx = self.tables.str_idx[e.id.0 as usize];
+                let idx = self.tables.str_idx(e.id);
                 self.emit(Op::Const {
                     dst,
                     v: Value::Ptr(self.str_addr[idx as usize]),
@@ -1252,7 +1250,7 @@ impl<'p> Compiler<'p> {
             ExprKind::Cond(c, t, f) => {
                 self.eval(c, dst);
                 let tick = self.take_pending();
-                let branch = self.tables.branch[e.id.0 as usize];
+                let branch = self.tables.branch(e.id);
                 let cb = self.emit_cond_branch(dst, branch, tick);
                 self.eval(t, dst);
                 let jt = self.take_pending();
@@ -1278,7 +1276,7 @@ impl<'p> Compiler<'p> {
                 }
             }
             ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => {
-                self.emit_const_int(dst, self.tables.sizeof_val[e.id.0 as usize]);
+                self.emit_const_int(dst, self.tables.sizeof_val(e.id));
             }
             ExprKind::Comma(a, b) => {
                 self.eval(a, dst);
@@ -1484,7 +1482,7 @@ impl<'p> Compiler<'p> {
     }
 
     fn eval_call(&mut self, e: &Expr, callee: &Expr, args: &[Expr], dst: u16) {
-        let site = self.tables.call_site[e.id.0 as usize];
+        let site = self.tables.call_site(e.id);
         debug_assert_ne!(site, NONE32, "sema registered every call site");
         self.emit(Op::BumpSite(site));
         let cs = &self.program.module.side.call_sites[site as usize];

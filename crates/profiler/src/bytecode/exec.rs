@@ -93,6 +93,50 @@ pub struct ExecScratch {
     fmt_out: String,
 }
 
+impl ExecScratch {
+    /// Releases any buffer whose capacity grew past `max_elems`
+    /// elements. Scratches were built for one-shot corpus runs, where
+    /// growing to the corpus high-water mark is the whole point; a
+    /// resident service that keeps scratches for its process lifetime
+    /// must instead shed the occasional deep-recursion or huge-program
+    /// outlier, or every worker permanently retains the worst case it
+    /// ever executed.
+    pub fn trim(&mut self, max_elems: usize) {
+        fn shed<T>(v: &mut Vec<T>, cap: usize) {
+            if v.capacity() > cap {
+                *v = Vec::new();
+            }
+        }
+        shed(&mut self.data, max_elems);
+        shed(&mut self.stack, max_elems);
+        shed(&mut self.regs, max_elems);
+        shed(&mut self.frames, max_elems);
+        shed(&mut self.blocks, max_elems);
+        shed(&mut self.edges, max_elems);
+        for s in [&mut self.sbuf_a, &mut self.sbuf_b, &mut self.fmt_out] {
+            if s.capacity() > max_elems {
+                *s = String::new();
+            }
+        }
+    }
+
+    /// The largest element capacity across the recycled buffers —
+    /// what [`ExecScratch::trim`] bounds; exposed so lifetime tests
+    /// can assert the bound without reaching into the fields.
+    pub fn high_water(&self) -> usize {
+        self.data
+            .capacity()
+            .max(self.stack.capacity())
+            .max(self.regs.capacity())
+            .max(self.frames.capacity())
+            .max(self.blocks.capacity())
+            .max(self.edges.capacity())
+            .max(self.sbuf_a.capacity())
+            .max(self.sbuf_b.capacity())
+            .max(self.fmt_out.capacity())
+    }
+}
+
 pub(super) fn execute(
     cp: &CompiledProgram,
     config: &RunConfig,

@@ -343,65 +343,42 @@ impl NodeTy {
     }
 }
 
-/// Dense per-node lookup tables (indexed by `NodeId`).
+/// Dense per-node lookup tables.
+///
+/// `NodeId`s are namespaced per declaration in `DECL_ID_STRIDE`-sized
+/// chunks (so an unchanged decl reparses to identical ids), which
+/// makes the raw id space sparse: a 16-function program's ids reach
+/// `16 << 20`. The tables therefore index through a per-decl
+/// `base`/`span` compression — slot `base[decl] + (id & mask)` — so
+/// storage stays proportional to the number of nodes, not the id
+/// range, while lookups remain two array reads.
 pub(crate) struct NodeTables {
-    pub(crate) ty: Vec<NodeTy>,
-    pub(crate) resolution: Vec<Option<Resolution>>,
-    pub(crate) call_site: Vec<u32>,
-    pub(crate) branch: Vec<u32>,
-    pub(crate) str_idx: Vec<u32>,
-    pub(crate) member_off: Vec<u32>,
-    pub(crate) sizeof_val: Vec<i64>,
+    /// Per-decl base offset into the dense tables.
+    base: Vec<u32>,
+    /// Per-decl slot count (max keyed in-decl offset + 1).
+    span: Vec<u32>,
+    ty: Vec<NodeTy>,
+    resolution: Vec<Option<Resolution>>,
+    call_site: Vec<u32>,
+    branch: Vec<u32>,
+    str_idx: Vec<u32>,
+    member_off: Vec<u32>,
+    sizeof_val: Vec<i64>,
 }
 
 pub(crate) const NONE32: u32 = u32::MAX;
+
+const DECL_SHIFT: u32 = minic::ast::DECL_ID_STRIDE.trailing_zeros();
+const DECL_MASK: u32 = minic::ast::DECL_ID_STRIDE - 1;
 
 impl NodeTables {
     pub(crate) fn build(program: &Program) -> Self {
         let side = &program.module.side;
         let structs = &program.module.structs;
-        let max_key = side
-            .expr_types
-            .keys()
-            .chain(side.resolutions.keys())
-            .chain(side.call_site_of.keys())
-            .chain(side.branch_of.keys())
-            .chain(side.str_of.keys())
-            .chain(side.const_values.keys())
-            .map(|n| n.0)
-            .max()
-            .unwrap_or(0) as usize
-            + 1;
-        let mut t = NodeTables {
-            ty: vec![NodeTy::DEFAULT; max_key],
-            resolution: vec![None; max_key],
-            call_site: vec![NONE32; max_key],
-            branch: vec![NONE32; max_key],
-            str_idx: vec![NONE32; max_key],
-            member_off: vec![NONE32; max_key],
-            sizeof_val: vec![0; max_key],
-        };
-        for (n, ty) in &side.expr_types {
-            t.ty[n.0 as usize] = NodeTy::of(ty, structs);
-        }
-        for (n, r) in &side.resolutions {
-            t.resolution[n.0 as usize] = Some(*r);
-        }
-        for (n, s) in &side.call_site_of {
-            t.call_site[n.0 as usize] = s.0;
-        }
-        for (n, b) in &side.branch_of {
-            t.branch[n.0 as usize] = b.0;
-        }
-        for (n, s) in &side.str_of {
-            t.str_idx[n.0 as usize] = *s as u32;
-        }
-        for (n, v) in &side.const_values {
-            if let Some(i) = v.as_int() {
-                t.sizeof_val[n.0 as usize] = i;
-            }
-        }
-        // Member offsets need the base expression's struct type.
+
+        // Member offsets need the base expression's struct type; the
+        // walk is collected up front so these ids count toward spans.
+        let mut member_offs: Vec<(minic::ast::NodeId, u32)> = Vec::new();
         for cfg in program.cfgs.iter().flatten() {
             cfg.walk_exprs(&mut |_, e| {
                 if let ExprKind::Member(base, field, arrow) = &e.kind {
@@ -420,12 +397,128 @@ impl NodeTables {
                         }
                     };
                     if let Some(f) = structs.layout(sid).field(field) {
-                        t.member_off[e.id.0 as usize] = f.offset as u32;
+                        member_offs.push((e.id, f.offset as u32));
                     }
                 }
             });
         }
+
+        let mut span: Vec<u32> = Vec::new();
+        for n in side
+            .expr_types
+            .keys()
+            .chain(side.resolutions.keys())
+            .chain(side.call_site_of.keys())
+            .chain(side.branch_of.keys())
+            .chain(side.str_of.keys())
+            .chain(side.const_values.keys())
+            .chain(member_offs.iter().map(|(n, _)| n))
+        {
+            let d = (n.0 >> DECL_SHIFT) as usize;
+            if d >= span.len() {
+                span.resize(d + 1, 0);
+            }
+            span[d] = span[d].max((n.0 & DECL_MASK) + 1);
+        }
+        let mut base = Vec::with_capacity(span.len());
+        let mut total = 0u32;
+        for &s in &span {
+            base.push(total);
+            total += s;
+        }
+        let slots = total as usize;
+
+        let mut t = NodeTables {
+            base,
+            span,
+            ty: vec![NodeTy::DEFAULT; slots],
+            resolution: vec![None; slots],
+            call_site: vec![NONE32; slots],
+            branch: vec![NONE32; slots],
+            str_idx: vec![NONE32; slots],
+            member_off: vec![NONE32; slots],
+            sizeof_val: vec![0; slots],
+        };
+        for (n, ty) in &side.expr_types {
+            let i = t.slot(*n).expect("keyed id is in span");
+            t.ty[i] = NodeTy::of(ty, structs);
+        }
+        for (n, r) in &side.resolutions {
+            let i = t.slot(*n).expect("keyed id is in span");
+            t.resolution[i] = Some(*r);
+        }
+        for (n, s) in &side.call_site_of {
+            let i = t.slot(*n).expect("keyed id is in span");
+            t.call_site[i] = s.0;
+        }
+        for (n, b) in &side.branch_of {
+            let i = t.slot(*n).expect("keyed id is in span");
+            t.branch[i] = b.0;
+        }
+        for (n, s) in &side.str_of {
+            let i = t.slot(*n).expect("keyed id is in span");
+            t.str_idx[i] = *s as u32;
+        }
+        for (n, v) in &side.const_values {
+            if let Some(i64v) = v.as_int() {
+                let i = t.slot(*n).expect("keyed id is in span");
+                t.sizeof_val[i] = i64v;
+            }
+        }
+        for &(n, off) in &member_offs {
+            let i = t.slot(n).expect("keyed id is in span");
+            t.member_off[i] = off;
+        }
         t
+    }
+
+    /// Compressed slot for `n`, or `None` for an id no table keys —
+    /// accessors then return the same sentinel a dense table would
+    /// have held.
+    #[inline]
+    fn slot(&self, n: minic::ast::NodeId) -> Option<usize> {
+        let d = (n.0 >> DECL_SHIFT) as usize;
+        let off = n.0 & DECL_MASK;
+        if off < *self.span.get(d)? {
+            Some(self.base[d] as usize + off as usize)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn ty(&self, n: minic::ast::NodeId) -> NodeTy {
+        self.slot(n).map_or(NodeTy::DEFAULT, |i| self.ty[i])
+    }
+
+    #[inline]
+    pub(crate) fn resolution(&self, n: minic::ast::NodeId) -> Option<Resolution> {
+        self.slot(n).and_then(|i| self.resolution[i])
+    }
+
+    #[inline]
+    pub(crate) fn call_site(&self, n: minic::ast::NodeId) -> u32 {
+        self.slot(n).map_or(NONE32, |i| self.call_site[i])
+    }
+
+    #[inline]
+    pub(crate) fn branch(&self, n: minic::ast::NodeId) -> u32 {
+        self.slot(n).map_or(NONE32, |i| self.branch[i])
+    }
+
+    #[inline]
+    pub(crate) fn str_idx(&self, n: minic::ast::NodeId) -> u32 {
+        self.slot(n).map_or(NONE32, |i| self.str_idx[i])
+    }
+
+    #[inline]
+    pub(crate) fn member_off(&self, n: minic::ast::NodeId) -> u32 {
+        self.slot(n).map_or(NONE32, |i| self.member_off[i])
+    }
+
+    #[inline]
+    pub(crate) fn sizeof_val(&self, n: minic::ast::NodeId) -> i64 {
+        self.slot(n).map_or(0, |i| self.sizeof_val[i])
     }
 }
 
@@ -580,7 +673,7 @@ impl<'p> Interp<'p> {
 
     #[inline]
     fn nty(&self, e: &Expr) -> NodeTy {
-        self.tables.ty[e.id.0 as usize]
+        self.tables.ty(e.id)
     }
 
     fn is_aggregate(ty: &Type) -> bool {
@@ -769,7 +862,11 @@ impl<'p> Interp<'p> {
         self.tick()?;
         match &e.kind {
             ExprKind::Ident(_) => {
-                match self.tables.resolution[e.id.0 as usize].expect("sema resolved every name") {
+                match self
+                    .tables
+                    .resolution(e.id)
+                    .expect("sema resolved every name")
+                {
                     Resolution::Local(lid) => {
                         let func = self.program.module.function(self.cur_fn);
                         Ok(STACK_BASE + (self.fp + func.locals[lid.0 as usize].offset) as u64)
@@ -795,7 +892,7 @@ impl<'p> Interp<'p> {
                 Ok(addr.wrapping_add_signed(i.wrapping_mul(bt.elem as i64)))
             }
             ExprKind::Member(base, _, arrow) => {
-                let offset = self.tables.member_off[e.id.0 as usize];
+                let offset = self.tables.member_off(e.id);
                 if offset == NONE32 {
                     return Err(RuntimeError::Other("member on non-struct".into()).into());
                 }
@@ -833,11 +930,15 @@ impl<'p> Interp<'p> {
             ExprKind::IntLit(v) => Ok(Value::Int(*v)),
             ExprKind::FloatLit(v) => Ok(Value::Float(*v)),
             ExprKind::StrLit(_) => {
-                let idx = self.tables.str_idx[e.id.0 as usize];
+                let idx = self.tables.str_idx(e.id);
                 Ok(Value::Ptr(self.str_addr[idx as usize]))
             }
             ExprKind::Ident(_) => {
-                match self.tables.resolution[e.id.0 as usize].expect("sema resolved every name") {
+                match self
+                    .tables
+                    .resolution(e.id)
+                    .expect("sema resolved every name")
+                {
                     Resolution::Func(fid) => Ok(Value::Fn(fid)),
                     Resolution::EnumConst(v) => Ok(Value::Int(v)),
                     Resolution::Builtin(_) => {
@@ -904,7 +1005,7 @@ impl<'p> Interp<'p> {
             }
             ExprKind::Cond(c, t, f) => {
                 let taken = self.eval(c)?.truthy();
-                let b = self.tables.branch[e.id.0 as usize];
+                let b = self.tables.branch(e.id);
                 if b != NONE32 {
                     let slot = &mut self.profile.branch_counts[b as usize];
                     if taken {
@@ -924,7 +1025,7 @@ impl<'p> Interp<'p> {
                 Ok(convert_for_class(self.nty(e).class, v))
             }
             ExprKind::SizeofType(_) | ExprKind::SizeofExpr(_) => {
-                Ok(Value::Int(self.tables.sizeof_val[e.id.0 as usize]))
+                Ok(Value::Int(self.tables.sizeof_val(e.id)))
             }
             ExprKind::Comma(a, b) => {
                 self.eval(a)?;
@@ -1103,7 +1204,7 @@ impl<'p> Interp<'p> {
     }
 
     fn eval_call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> VResult {
-        let site = self.tables.call_site[e.id.0 as usize] as usize;
+        let site = self.tables.call_site(e.id) as usize;
         self.profile.call_site_counts[site] += 1;
         let cs = &self.program.module.side.call_sites[site];
         match cs.callee {

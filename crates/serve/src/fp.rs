@@ -1,0 +1,99 @@
+//! 128-bit content fingerprints for the incremental database.
+//!
+//! Same dual-stream FNV-1a construction as the artifact cache's key
+//! hash and the VM's `ir_fingerprint`: two independently-seeded 64-bit
+//! FNV-1a streams over length-prefixed fields, concatenated. Stable by
+//! construction across processes and runs — no std hasher internals.
+
+/// Incremental dual-stream FNV-1a/128 hasher.
+pub struct Fnv128 {
+    a: u64,
+    b: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128::new()
+    }
+}
+
+impl Fnv128 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Fnv128 {
+            a: 0xcbf2_9ce4_8422_2325,
+            // A second, unrelated offset basis keeps the streams
+            // independent (same idiom as the cache key hash).
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    /// Feeds raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &x in bytes {
+            self.a = (self.a ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Length-prefixed field update, so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    pub fn field(&mut self, bytes: &[u8]) {
+        self.update(&(bytes.len() as u64).to_le_bytes());
+        self.update(bytes);
+    }
+
+    /// Length-prefixed string field.
+    pub fn field_str(&mut self, s: &str) {
+        self.field(s.as_bytes());
+    }
+
+    /// A `u64` field (fixed width, no prefix needed).
+    pub fn word(&mut self, w: u64) {
+        self.update(&w.to_le_bytes());
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// Convenience: fingerprint of one string.
+pub fn fp_str(s: &str) -> u128 {
+    let mut h = Fnv128::new();
+    h.field_str(s);
+    h.finish()
+}
+
+/// Folds an `f64` slice into a hasher, bit-exactly.
+pub fn fold_f64s(h: &mut Fnv128, xs: &[f64]) {
+    h.word(xs.len() as u64);
+    for &x in xs {
+        h.word(x.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_boundaries_matter() {
+        let mut a = Fnv128::new();
+        a.field_str("ab");
+        a.field_str("c");
+        let mut b = Fnv128::new();
+        b.field_str("a");
+        b.field_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn stable_across_calls() {
+        assert_eq!(fp_str("hello"), fp_str("hello"));
+        assert_ne!(fp_str("hello"), fp_str("hellp"));
+    }
+}

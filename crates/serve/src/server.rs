@@ -1,0 +1,270 @@
+//! The `sfe serve` daemon loop: NDJSON over stdin/stdout, or a local
+//! TCP socket with one thread (and one [`Session`]) per connection.
+//!
+//! All sessions share one [`ServeDb`]; per-request computation fans
+//! out on the database's work-stealing pool, so concurrency comes from
+//! both axes — parallel connections and parallel per-function work
+//! inside each request.
+//!
+//! Shutdown is cooperative: any client's `shutdown` request flips a
+//! shared flag, the acceptor is unblocked with a loopback poke, every
+//! live connection finishes its current request, and the acceptor
+//! returns only after all handler threads are joined — no request is
+//! ever dropped mid-response (the property the CI smoke test's clean-
+//! shutdown assertion checks).
+
+use crate::db::ServeDb;
+use crate::session::Session;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Serves NDJSON requests from `input` to `output` until EOF or a
+/// `shutdown` request. Returns the number of requests handled.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader or writer.
+pub fn serve_lines<R: BufRead, W: Write>(
+    db: &Arc<ServeDb>,
+    input: R,
+    mut output: W,
+) -> io::Result<u64> {
+    let session = Session::new(Arc::clone(db));
+    let mut handled = 0;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let out = session.handle(&line);
+        output.write_all(out.response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        handled += 1;
+        if out.shutdown {
+            break;
+        }
+    }
+    Ok(handled)
+}
+
+/// Runs the service over stdin/stdout until EOF or `shutdown`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the standard streams.
+pub fn serve_stdio(db: &Arc<ServeDb>) -> io::Result<u64> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_lines(db, stdin.lock(), stdout.lock())
+}
+
+/// A TCP server bound and accepting in a background thread. Dropping
+/// the handle does *not* stop the server; send a `shutdown` request or
+/// call [`TcpServer::shutdown`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: thread::JoinHandle<io::Result<()>>,
+}
+
+impl TcpServer {
+    /// The bound address (useful with `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown as if a client had sent the RPC.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        poke(self.addr);
+    }
+
+    /// Waits for the acceptor and every connection handler to finish.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the acceptor thread's I/O error, if any.
+    pub fn join(self) -> io::Result<()> {
+        match self.acceptor.join() {
+            Ok(r) => r,
+            Err(e) => std::panic::resume_unwind(e),
+        }
+    }
+}
+
+/// Binds `addr` and serves connections until a `shutdown` request.
+/// Returns once the listener is live, so callers can read
+/// [`TcpServer::addr`] and connect immediately.
+///
+/// # Errors
+///
+/// Fails if the address cannot be bound.
+pub fn spawn_tcp(db: Arc<ServeDb>, addr: &str) -> io::Result<TcpServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || accept_loop(&db, &listener, &stop))
+    };
+    Ok(TcpServer {
+        addr,
+        stop,
+        acceptor,
+    })
+}
+
+fn accept_loop(
+    db: &Arc<ServeDb>,
+    listener: &TcpListener,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    let addr = listener.local_addr()?;
+    let mut handlers = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        // Request/response lines are small; without TCP_NODELAY the
+        // Nagle + delayed-ACK interaction stalls every round-trip by
+        // ~40ms and caps a client at ~25 requests/sec.
+        let _ = stream.set_nodelay(true);
+        let db = Arc::clone(db);
+        let stop = Arc::clone(stop);
+        handlers.push(thread::spawn(move || {
+            let _ = handle_conn(&db, stream, &stop, addr);
+        }));
+        // Opportunistically reap finished handlers so a long-lived
+        // daemon's handle list doesn't grow with total connections.
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    // The database outlives this accept loop (callers may hold other
+    // references); make sure batched cache writes are on disk before
+    // the daemon reports a clean exit.
+    db.flush_cache();
+    Ok(())
+}
+
+fn handle_conn(
+    db: &Arc<ServeDb>,
+    stream: TcpStream,
+    stop: &Arc<AtomicBool>,
+    server_addr: SocketAddr,
+) -> io::Result<()> {
+    let session = Session::new(Arc::clone(db));
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let out = session.handle(&line);
+        writer.write_all(out.response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if out.shutdown {
+            stop.store(true, Ordering::SeqCst);
+            poke(server_addr);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Unblocks an acceptor parked in `accept(2)` by completing one
+/// throwaway connection to it.
+fn poke(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int main(void) { return 7; }";
+
+    fn load_line(name: &str) -> String {
+        format!(
+            r#"{{"sfe":"serve/v1","id":1,"method":"load","params":{{"program":"{name}","source":"{SRC}"}}}}"#
+        )
+    }
+
+    #[test]
+    fn stdio_style_loop_handles_and_stops() {
+        let db = Arc::new(ServeDb::new(Some(1), None));
+        let input = format!(
+            "{}\n{}\n{}\n",
+            load_line("p"),
+            r#"{"sfe":"serve/v1","id":2,"method":"list"}"#,
+            r#"{"sfe":"serve/v1","id":3,"method":"shutdown"}"#
+        );
+        let mut out = Vec::new();
+        let handled = serve_lines(&db, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(handled, 3);
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains(r#""programs":["p"]"#), "{text}");
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_clean_shutdown() {
+        let db = Arc::new(ServeDb::new(Some(2), None));
+        let server = spawn_tcp(db, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut line = String::new();
+
+        writeln!(writer, "{}", load_line("p")).unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"revision\":1"), "{line}");
+
+        line.clear();
+        writeln!(writer, r#"{{"sfe":"serve/v1","id":2,"method":"shutdown"}}"#).unwrap();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_connections_share_one_db() {
+        let db = Arc::new(ServeDb::new(Some(2), None));
+        let server = spawn_tcp(Arc::clone(&db), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let clients: Vec<_> = (0..4)
+            .map(|i| {
+                thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    writeln!(writer, "{}", load_line(&format!("c{i}"))).unwrap();
+                    reader.read_line(&mut line).unwrap();
+                    assert!(line.contains("\"revision\":1"), "{line}");
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert_eq!(db.program_names().len(), 4);
+        server.shutdown();
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,156 @@
+//! Incremental-correctness differential suite.
+//!
+//! For 300 fuzzgen seeds: load the generated program, apply one
+//! deterministic single-function mutation, `update` the resident
+//! database — then cold-load the mutated source into a fresh database
+//! and require the *byte-identical* wire responses for every estimator
+//! combination. Reuse is not allowed to change a single bit of any
+//! estimate; it is only allowed to skip work, which the aggregate
+//! work-counter assertion at the bottom confirms it actually does.
+
+use serve::db::ServeDb;
+use serve::edits::mutate;
+use serve::session::Session;
+use std::sync::Arc;
+
+const SEEDS: u64 = 300;
+
+fn estimate_requests(name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for estimator in ["loop", "smart", "markov"] {
+        for inter in ["call-site", "direct", "all-rec", "all-rec2", "markov"] {
+            out.push(format!(
+                r#"{{"sfe":"serve/v1","id":1,"method":"estimate","params":{{"estimator":"{estimator}","inter":"{inter}","program":"{name}"}}}}"#
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn incremental_update_is_byte_identical_to_cold_recompute() {
+    let warm_db = Arc::new(ServeDb::new(Some(2), None));
+    let cold_jobs = [1usize, 2, 4];
+    let mut mutated = 0u64;
+    let mut profiled = 0u64;
+
+    for seed in 0..SEEDS {
+        let mut prog = fuzzgen::gen::generate(seed);
+        let src0 = prog.render();
+        let name = format!("diff/{seed}");
+        warm_db
+            .upsert(&name, &src0)
+            .unwrap_or_else(|e| panic!("seed {seed}: base load failed: {e:?}"));
+
+        let mut rng = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+        if !mutate(&mut prog, &mut rng) {
+            continue;
+        }
+        mutated += 1;
+        let src1 = prog.render();
+        assert_ne!(src0, src1, "seed {seed}: mutation must change the source");
+        warm_db
+            .upsert(&name, &src1)
+            .unwrap_or_else(|e| panic!("seed {seed}: incremental update failed: {e:?}"));
+
+        // Cold recompute in a fresh database — vary the worker count
+        // too, so the comparison also covers pool-size independence.
+        let cold_db = Arc::new(ServeDb::new(
+            Some(cold_jobs[seed as usize % cold_jobs.len()]),
+            None,
+        ));
+        cold_db
+            .upsert(&name, &src1)
+            .unwrap_or_else(|e| panic!("seed {seed}: cold load failed: {e:?}"));
+
+        let warm_entry = warm_db.entry(&name).unwrap();
+        let cold_entry = cold_db.entry(&name).unwrap();
+        assert_eq!(
+            warm_entry.estimates_digest(),
+            cold_entry.estimates_digest(),
+            "seed {seed}: estimate digests diverge after incremental update"
+        );
+
+        // Wire-level: every estimator combination, byte for byte. The
+        // `revision` field necessarily differs (2 vs 1), so compare
+        // with it normalized.
+        let warm = Session::new(Arc::clone(&warm_db));
+        let cold = Session::new(Arc::clone(&cold_db));
+        for req in estimate_requests(&name) {
+            let a = warm
+                .handle(&req)
+                .response
+                .replace("\"revision\":2", "\"revision\":1");
+            let b = cold.handle(&req).response;
+            assert_eq!(a, b, "seed {seed}: wire response diverges for {req}");
+        }
+
+        // Profiles execute the *reused* CFGs on the VM — a remapped
+        // string index or branch id would surface here. Sampled: VM
+        // runs dominate test time.
+        if seed % 10 == 0 {
+            profiled += 1;
+            let req = format!(
+                r#"{{"sfe":"serve/v1","id":1,"method":"profile","params":{{"program":"{name}"}}}}"#
+            );
+            let a = warm.handle(&req).response;
+            let b = cold.handle(&req).response;
+            assert_eq!(a, b, "seed {seed}: profile response diverges");
+        }
+    }
+
+    assert!(
+        mutated >= SEEDS * 9 / 10,
+        "only {mutated}/{SEEDS} seeds produced a mutation"
+    );
+    assert!(profiled >= SEEDS / 20, "profile sampling broke: {profiled}");
+
+    // Reuse must actually happen: across all updates, a substantial
+    // share of function artifacts must have been carried over rather
+    // than recomputed (single-function edits leave the other functions
+    // untouched; whole-module invalidations from context changes are
+    // the minority).
+    let work = warm_db.total_work();
+    assert!(
+        work.funcs_reused * 3 >= work.funcs_lowered,
+        "too little reuse: {work:?}"
+    );
+}
+
+#[test]
+fn suite_program_edit_is_byte_identical_and_cheap() {
+    // Same differential on a real suite program (many functions), plus
+    // the work-ratio property on a single concrete case: editing one
+    // function of `compress` must cost well under half of a cold load
+    // in work units (the <10% acceptance bound is asserted on the full
+    // 14-program suite denominator in the serve bench).
+    let program = suite::all()
+        .into_iter()
+        .find(|p| p.name == "compress")
+        .expect("compress in suite");
+    let src0 = program.source;
+    let src1 = serve::edits::edit_function_source(src0, 3).expect("editable function");
+
+    let warm = Arc::new(ServeDb::new(Some(2), None));
+    let cold_out;
+    let warm_out;
+    {
+        warm.upsert("compress", src0).unwrap();
+        warm_out = warm.upsert("compress", &src1).unwrap();
+        let cold = Arc::new(ServeDb::new(Some(1), None));
+        cold_out = cold.upsert("compress", &src1).unwrap();
+        assert_eq!(
+            warm.entry("compress").unwrap().estimates_digest(),
+            cold.entry("compress").unwrap().estimates_digest(),
+            "suite edit: estimates diverge"
+        );
+    }
+    assert_eq!(warm_out.fingerprint, cold_out.fingerprint);
+    assert!(
+        warm_out.work.total_units() * 2 < cold_out.work.total_units(),
+        "incremental {:?} not cheaper than cold {:?}",
+        warm_out.work,
+        cold_out.work
+    );
+    assert!(warm_out.work.funcs_reused > 0);
+}

@@ -1,0 +1,124 @@
+//! Storm determinism and residency.
+//!
+//! The storm workload is a pure function of its config, so the
+//! response-stream digest and the final database state digest must be
+//! identical at `--jobs 1`, `2`, and `4` — any divergence means a
+//! worker-count-dependent computation leaked into an estimate or a
+//! response. The soak test (ignored by default; CI runs it explicitly)
+//! drives a resident database for ~30 seconds and asserts the
+//! process's RSS plateaus rather than growing monotonically.
+
+use serve::db::ServeDb;
+use serve::storm::{run_in_process, StormConfig};
+use std::sync::Arc;
+
+#[test]
+fn storm_digests_identical_at_jobs_1_2_4() {
+    let config = StormConfig {
+        clients: 4,
+        requests: 60,
+        seed: 42,
+        update_pct: 25,
+    };
+    let mut reports = Vec::new();
+    for jobs in [1usize, 2, 4] {
+        let db = Arc::new(ServeDb::new(Some(jobs), None));
+        let report = run_in_process(&config, &db);
+        assert_eq!(report.errors, 0, "jobs={jobs}: {report:?}");
+        assert_eq!(report.total_requests, 4 * 61);
+        reports.push((jobs, report));
+    }
+    let (_, first) = &reports[0];
+    for (jobs, report) in &reports[1..] {
+        assert_eq!(
+            report.digest, first.digest,
+            "response digest diverges at jobs={jobs}"
+        );
+        assert_eq!(
+            report.db_digest, first.db_digest,
+            "database state digest diverges at jobs={jobs}"
+        );
+        // The *amount* of work must match too: reuse decisions are
+        // driven by fingerprints, never by scheduling.
+        assert_eq!(
+            report.work, first.work,
+            "work counters diverge at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn storm_digest_is_seed_sensitive() {
+    let db = Arc::new(ServeDb::new(Some(2), None));
+    let a = run_in_process(
+        &StormConfig {
+            clients: 2,
+            requests: 10,
+            seed: 7,
+            update_pct: 20,
+        },
+        &db,
+    );
+    let db2 = Arc::new(ServeDb::new(Some(2), None));
+    let b = run_in_process(
+        &StormConfig {
+            clients: 2,
+            requests: 10,
+            seed: 8,
+            update_pct: 20,
+        },
+        &db2,
+    );
+    assert_ne!(a.digest, b.digest, "different seeds must differ");
+}
+
+/// ~30-second soak: repeated storm rounds against one resident
+/// database must not grow RSS monotonically — scratch buffers are
+/// trimmed, superseded revisions are dropped, and per-program profile
+/// maps are bounded by the workload's input set.
+///
+/// Ignored by default (long); CI runs it with `--ignored`.
+#[test]
+#[ignore = "30s soak; run explicitly (cargo test -p serve -- --ignored)"]
+fn soak_rss_plateaus() {
+    use std::time::{Duration, Instant};
+
+    let db = Arc::new(ServeDb::new(Some(2), None));
+    let config = StormConfig {
+        clients: 2,
+        requests: 40,
+        seed: 9,
+        update_pct: 30,
+    };
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut samples: Vec<u64> = Vec::new();
+    let mut rounds = 0u64;
+    while Instant::now() < deadline {
+        let report = run_in_process(&config, &db);
+        assert_eq!(report.errors, 0);
+        rounds += 1;
+        if let Some(rss) = obs::current_rss_bytes() {
+            samples.push(rss);
+        }
+    }
+    assert!(rounds >= 3, "soak managed only {rounds} rounds");
+    assert!(samples.len() >= 3, "no RSS samples — /proc unavailable?");
+
+    // Steady state must not sit meaningfully above warm-up: compare
+    // the max of the last third against the max of the first third
+    // (after round 1, allocator pools and caches are primed). Allow
+    // 15% + 8 MiB of allocator noise.
+    let third = samples.len() / 3;
+    let early_max = *samples[..third.max(1)].iter().max().unwrap();
+    let late_max = *samples[samples.len() - third.max(1)..]
+        .iter()
+        .max()
+        .unwrap();
+    let limit = early_max + early_max / 7 + 8 * 1024 * 1024;
+    assert!(
+        late_max <= limit,
+        "RSS grew across soak: early max {early_max} B, late max {late_max} B \
+         (limit {limit} B, {} samples over {rounds} rounds)",
+        samples.len()
+    );
+}

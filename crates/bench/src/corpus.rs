@@ -88,15 +88,44 @@ pub const BINS: usize = 2048;
 /// backpressure window is `mem_budget / SLOT_BYTES`.
 pub const SLOT_BYTES: u64 = 4 * 1024 * 1024;
 
-/// The fixed run configuration for corpus programs, mirroring the
-/// fuzz oracle: no input, generous step budget (generated loops are
-/// fuel-bounded), deep call budget (recursion is fuel-bounded).
-pub fn run_config() -> RunConfig {
+/// The run configuration for one corpus seed: generous step budget
+/// (generated loops are fuel-bounded), deep call budget (recursion is
+/// fuel-bounded), and a deterministic per-seed input. The input used
+/// to be always empty, which made every `getchar`/`gets` path in a
+/// generated program see instant EOF — a whole class of
+/// input-dependent control flow the corpus silently never evaluated.
+pub fn run_config(seed: u64) -> RunConfig {
     RunConfig {
-        input: Vec::new(),
+        input: seed_input(seed),
         max_steps: 30_000_000,
         max_call_depth: 10_000,
     }
+}
+
+/// Deterministic pseudo-random input bytes for `seed`: a few lines of
+/// digits, letters, and separators (the token shapes `atoi`/`gets`
+/// consumers in generated programs care about), 16–79 bytes long.
+/// Pure function of the seed — identical across engines, job counts,
+/// and platforms, so aggregate digests stay comparable.
+pub fn seed_input(seed: u64) -> Vec<u8> {
+    // splitmix64 over the seed; independent of the generator's own
+    // PRNG stream so adding input never perturbs program shapes.
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    const ALPHABET: &[u8] = b"0123456789 \nabcxyz+-";
+    let len = 16 + (next() % 64) as usize;
+    let mut input = Vec::with_capacity(len + 1);
+    for _ in 0..len {
+        input.push(ALPHABET[(next() % ALPHABET.len() as u64) as usize]);
+    }
+    input.push(b'\n');
+    input
 }
 
 /// Which engine evaluates the corpus.
@@ -393,7 +422,7 @@ fn eval_seed_streaming(seq: u64, seed: u64, cache: Option<&Cache>) -> SeedRecord
     let program = flowgraph::build_program(&module);
     let cp = profiler::compile(&program);
     let fingerprint = cp.ir_fingerprint();
-    let config = run_config();
+    let config = run_config(seed);
     let out = SCRATCH.with(|s| cp.execute_in(&config, &mut s.borrow_mut()));
     let Ok(out) = out else {
         return SeedRecord {
@@ -561,15 +590,15 @@ struct NaiveRow {
 
 fn run_naive(cfg: &CorpusConfig, pool: &pool::Pool, cache: Option<&Cache>) -> Aggregator {
     let rows: Mutex<Vec<NaiveRow>> = Mutex::new(Vec::new());
-    let run_cfg = run_config();
     pool.scope(|s| {
         // No backpressure: every seed is submitted up front and every
         // result retained.
         for seq in 0..cfg.count {
             let seed = cfg.first_seed + seq;
-            let (rows, run_cfg) = (&rows, &run_cfg);
+            let rows = &rows;
             s.spawn(move |_| {
                 let t0 = Instant::now();
+                let run_cfg = &run_config(seed);
                 let prog = fuzzgen::generate(seed);
                 let features = StructuralFeatures::of(&prog);
                 let src = prog.render();

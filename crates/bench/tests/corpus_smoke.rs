@@ -60,16 +60,18 @@ fn two_hundred_programs_fill_every_bucket_and_reach_the_cache() {
     let _cleanup = std::fs::remove_dir_all(&cache_dir);
 
     // Aggregates are byte-identical at any worker count...
-    let r2 = run_corpus(&CorpusConfig {
-        jobs: Some(2),
-        cache_dir: None,
-        ..base.clone()
-    });
-    assert_eq!(
-        r.aggregate_digest(),
-        r2.aggregate_digest(),
-        "jobs=2 changed aggregates"
-    );
+    for jobs in [2, 4] {
+        let rj = run_corpus(&CorpusConfig {
+            jobs: Some(jobs),
+            cache_dir: None,
+            ..base.clone()
+        });
+        assert_eq!(
+            r.aggregate_digest(),
+            rj.aggregate_digest(),
+            "jobs={jobs} changed aggregates"
+        );
+    }
 
     // ...and the naive baseline agrees on every distribution.
     let naive = run_corpus(&CorpusConfig {
@@ -82,6 +84,30 @@ fn two_hundred_programs_fill_every_bucket_and_reach_the_cache() {
         r.aggregate_digest(),
         naive.aggregate_digest(),
         "engines diverged"
+    );
+}
+
+/// Corpus runs feed each seed a deterministic non-empty input — the
+/// engine used to run everything on empty stdin, so `getchar`-driven
+/// control flow in generated programs was never exercised.
+#[test]
+fn seed_inputs_are_deterministic_and_nonempty() {
+    for seed in [0, 1, 7, 1000, u64::MAX] {
+        let a = bench::corpus::seed_input(seed);
+        let b = bench::corpus::seed_input(seed);
+        assert_eq!(a, b, "seed {seed} input must be a pure function");
+        assert!(
+            (17..=80).contains(&a.len()),
+            "seed {seed}: {} bytes",
+            a.len()
+        );
+        assert_eq!(a.last(), Some(&b'\n'), "input ends in a newline");
+        assert_eq!(bench::corpus::run_config(seed).input, a);
+    }
+    assert_ne!(
+        bench::corpus::seed_input(1),
+        bench::corpus::seed_input(2),
+        "different seeds get different inputs"
     );
 }
 

@@ -36,7 +36,8 @@
 use crate::{fnv64, BytecodeMeta, FORMAT_VERSION};
 use flowgraph::BlockId;
 use minic::sema::FuncId;
-use profiler::Profile;
+use profiler::reuse::BINS;
+use profiler::{Profile, ReuseTrace};
 
 const MAGIC: [u8; 4] = *b"SFEA";
 const HEADER_LEN: usize = 24;
@@ -44,6 +45,7 @@ const HEADER_LEN: usize = 24;
 const TAG_PROFILE: u8 = 1;
 const TAG_BYTECODE_META: u8 = 2;
 const TAG_OPT_PROFILE: u8 = 3;
+const TAG_REUSE_PROFILE: u8 = 4;
 
 /// One decoded cache entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +58,10 @@ pub enum Artifact {
     /// [`Artifact::Profile`], distinct tag so the two artifact kinds
     /// can never be confused for one another).
     OptProfile(Profile),
+    /// An exact reuse-distance trace from a traced run. Tagged
+    /// separately from [`Artifact::Profile`] so a trace is never
+    /// served where a plain profile was requested or vice versa.
+    ReuseProfile(ReuseTrace),
 }
 
 /// Encodes `artifact` as a complete framed entry (header + payload).
@@ -106,6 +112,18 @@ fn encode_payload(artifact: &Artifact) -> Vec<u8> {
             put_u64(&mut out, m.n_funcs);
             put_u64(&mut out, m.n_blocks);
             put_u64(&mut out, m.data_words);
+        }
+        Artifact::ReuseProfile(t) => {
+            out.push(TAG_REUSE_PROFILE);
+            put_u64(&mut out, t.events);
+            put_len(&mut out, t.objects.len());
+            for o in &t.objects {
+                put_len(&mut out, o.name.len());
+                out.extend_from_slice(o.name.as_bytes());
+                for &c in &o.hist {
+                    put_u64(&mut out, c);
+                }
+            }
         }
     }
     out
@@ -188,6 +206,21 @@ fn decode_payload(payload: &[u8]) -> Option<Artifact> {
             n_blocks: r.u64()?,
             data_words: r.u64()?,
         }),
+        TAG_REUSE_PROFILE => {
+            let events = r.u64()?;
+            let n = r.len()?;
+            let mut objects = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name_len = r.len()?;
+                let name = std::str::from_utf8(r.take(name_len)?).ok()?.to_string();
+                let mut hist = [0u64; BINS];
+                for slot in &mut hist {
+                    *slot = r.u64()?;
+                }
+                objects.push(profiler::reuse::ReuseObject { name, hist });
+            }
+            Artifact::ReuseProfile(ReuseTrace { objects, events })
+        }
         _ => return None,
     };
     // Trailing garbage means the writer and reader disagree about the

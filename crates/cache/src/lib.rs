@@ -83,8 +83,11 @@ use std::sync::Mutex;
 
 /// Bump when the codec layout or key derivation changes; every entry
 /// written under another version silently misses. v2 added the
-/// optimized-run profile kind ([`ArtifactKind::OptProfile`]).
-pub const FORMAT_VERSION: u32 = 2;
+/// optimized-run profile kind ([`ArtifactKind::OptProfile`]); v3
+/// added reuse-distance traces ([`ArtifactKind::ReuseProfile`]) and
+/// folded the trace-mode flag into key derivation
+/// ([`ArtifactKey::derive_reuse`]).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// File extension for cache entries.
 const ENTRY_EXT: &str = "sfea";
@@ -114,6 +117,11 @@ pub enum ArtifactKind {
     /// [`ArtifactKey::derive_opt`]), so a different level — or a
     /// pipeline change — always misses.
     OptProfile,
+    /// An exact reuse-distance trace of (source, config, input) from
+    /// the profiler's tracing mode; its key is additionally salted
+    /// with the trace-mode flag (see [`ArtifactKey::derive_reuse`]),
+    /// so a trace can never be served from a plain-profile entry.
+    ReuseProfile,
 }
 
 impl ArtifactKind {
@@ -122,6 +130,7 @@ impl ArtifactKind {
             ArtifactKind::Profile => 1,
             ArtifactKind::BytecodeMeta => 2,
             ArtifactKind::OptProfile => 3,
+            ArtifactKind::ReuseProfile => 4,
         }
     }
 }
@@ -230,6 +239,25 @@ impl ArtifactKey {
         h.field(&config.input);
         h.update(&[opt_level]);
         h.update(&pipeline_version.to_le_bytes());
+        ArtifactKey(h.finish())
+    }
+
+    /// The key of an [`ArtifactKind::ReuseProfile`]:
+    /// [`ArtifactKey::derive`] additionally salted with an explicit
+    /// trace-mode byte. The kind tag already separates the artifact
+    /// spaces; the extra byte makes the execution-mode dependency part
+    /// of the key contract itself, so a future non-traced reuse
+    /// summary (flag 0) can coexist without a format bump.
+    pub fn derive_reuse(source: &str, config: &RunConfig) -> ArtifactKey {
+        const TRACE_MODE: u8 = 1;
+        let mut h = Fnv128::new();
+        h.update(&[ArtifactKind::ReuseProfile.tag()]);
+        h.update(&FORMAT_VERSION.to_le_bytes());
+        h.field(source.as_bytes());
+        h.update(&config.max_steps.to_le_bytes());
+        h.update(&(config.max_call_depth as u64).to_le_bytes());
+        h.field(&config.input);
+        h.update(&[TRACE_MODE]);
         ArtifactKey(h.finish())
     }
 
@@ -362,6 +390,16 @@ impl Cache {
     pub fn load_opt_profile(&self, key: ArtifactKey) -> Option<Profile> {
         match self.load(key)? {
             codec::Artifact::OptProfile(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Convenience: [`Cache::load`] narrowed to reuse-distance traces.
+    /// Any other artifact kind at the key — including a plain profile
+    /// — is *not* served.
+    pub fn load_reuse_profile(&self, key: ArtifactKey) -> Option<profiler::ReuseTrace> {
+        match self.load(key)? {
+            codec::Artifact::ReuseProfile(t) => Some(t),
             _ => None,
         }
     }
@@ -593,6 +631,82 @@ mod tests {
         cache.store(kp, &Artifact::Profile(sample_profile(1)));
         assert_eq!(cache.load_opt_profile(kp), None, "kinds are disjoint");
         assert!(cache.load_profile(k3).is_none(), "kinds are disjoint");
+    }
+
+    fn sample_trace(seed: u64) -> profiler::ReuseTrace {
+        use profiler::reuse::{ReuseObject, BINS};
+        let mut hist = [0u64; BINS];
+        hist[0] = seed;
+        hist[5] = seed * 3;
+        hist[BINS - 1] = 2;
+        profiler::ReuseTrace {
+            objects: vec![
+                ReuseObject {
+                    name: "a".to_string(),
+                    hist,
+                },
+                ReuseObject {
+                    name: "<str/heap>".to_string(),
+                    hist: [0; BINS],
+                },
+            ],
+            events: seed * 3 + seed + 2,
+        }
+    }
+
+    #[test]
+    fn reuse_profile_key_invalidates_and_never_aliases_plain_profile() {
+        let cache = Cache::open(temp_dir("reusekey")).unwrap();
+        let cfg = RunConfig::with_input("abc");
+        let src = "int main(void){}";
+
+        let kr = ArtifactKey::derive_reuse(src, &cfg);
+        let trace = sample_trace(11);
+        cache.store(kr, &Artifact::ReuseProfile(trace.clone()));
+        assert_eq!(cache.load_reuse_profile(kr).unwrap(), trace);
+
+        // Source and input both participate in the key.
+        assert_ne!(kr, ArtifactKey::derive_reuse("int x;", &cfg));
+        assert_ne!(
+            kr,
+            ArtifactKey::derive_reuse(src, &RunConfig::with_input("xyz"))
+        );
+
+        // A trace is never served where a plain profile was asked for,
+        // nor a profile where a trace was asked for — even if the keys
+        // were somehow forced to collide, the codec tags are disjoint.
+        let kp = ArtifactKey::derive(ArtifactKind::Profile, src, &cfg);
+        assert_ne!(kp, kr, "trace flag + kind tag separate the key spaces");
+        cache.store(kp, &Artifact::Profile(sample_profile(4)));
+        assert_eq!(cache.load_reuse_profile(kp), None, "kinds are disjoint");
+        assert!(cache.load_profile(kr).is_none(), "kinds are disjoint");
+
+        // The explicit same-key cross-kind check: a plain profile
+        // stored *at the trace's own key* still refuses to decode as
+        // a trace.
+        cache.store(kr, &Artifact::Profile(sample_profile(9)));
+        assert_eq!(
+            cache.load_reuse_profile(kr),
+            None,
+            "trace output never served from a plain-profile entry"
+        );
+        let _cleanup = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn round_trips_reuse_trace() {
+        let dir = temp_dir("reusetrip");
+        let cfg = RunConfig::default();
+        let kr = ArtifactKey::derive_reuse("int a[4];", &cfg);
+        let trace = sample_trace(99);
+        {
+            let cache = Cache::open(&dir).unwrap();
+            cache.store(kr, &Artifact::ReuseProfile(trace.clone()));
+        }
+        // A fresh handle reads it back from disk byte-identically.
+        let cache = Cache::open(&dir).unwrap();
+        assert_eq!(cache.load_reuse_profile(kr), Some(trace));
+        let _cleanup = std::fs::remove_dir_all(cache.dir());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! sfe dot       prog.c [func]     # Graphviz CFG (or call graph)
 //! sfe run       prog.c [input]    # run, then compare estimate vs. profile
 //! sfe suite                       # full pipeline over the 14-program suite
+//! sfe reuse    [program|file.c]   # predicted vs traced reuse-distance histograms
 //! sfe fig10    [program]          # measured speedup-vs-budget curves (Fig 10)
 //! sfe corpus   [flags]            # streaming evaluation over generated corpus
 //! sfe pretty    prog.c            # parse + pretty-print
@@ -150,6 +151,9 @@ fn dispatch(args: &[String], cache_dir: Option<&str>, no_cache: bool, opt_level:
     if args.first().map(String::as_str) == Some("suite") {
         return suite_report(cache_dir, no_cache, opt_level);
     }
+    if args.first().map(String::as_str) == Some("reuse") {
+        return reuse_cmd(args.get(1).map(String::as_str), cache_dir, no_cache);
+    }
     if args.first().map(String::as_str) == Some("fig10") {
         return fig10_report(args.get(1).map(String::as_str));
     }
@@ -166,7 +170,7 @@ fn dispatch(args: &[String], cache_dir: Option<&str>, no_cache: bool, opt_level:
         eprintln!(
             "usage: sfe [--trace] [--metrics-out <path>] [--cache-dir <path>] [--no-cache] \
              [--opt-level <n>] \
-             <report|blocks|branches|callsites|dot|run|suite|fig10|corpus|pretty|serve|storm> \
+             <report|blocks|branches|callsites|dot|run|suite|reuse|fig10|corpus|pretty|serve|storm> \
              [file.c] [arg]"
         );
         return ExitCode::from(2);
@@ -472,6 +476,207 @@ fn suite_report(cache_dir: Option<&str>, no_cache: bool, opt_level: u8) -> ExitC
         );
     }
     ExitCode::SUCCESS
+}
+
+/// `sfe reuse [program|file.c]`: the static memory-reuse estimator.
+///
+/// Predicts each suite program's per-object reuse-distance histogram
+/// without executing it (crate `reuse`), collects the exact histogram
+/// with the profiler's tracing mode, and weight-matches the two. With
+/// no argument, prints the suite-wide table; with a program name (or
+/// a `.c` path), a per-object breakdown. Traces are cached as
+/// `ReuseProfile` artifacts under their own key space, and the traced
+/// runs for a program's inputs fan out on the global pool — the
+/// merged histogram is a plain per-bin sum, so it is byte-identical
+/// for any pool size.
+fn reuse_cmd(which: Option<&str>, cache_dir: Option<&str>, no_cache: bool) -> ExitCode {
+    let cache = if no_cache {
+        None
+    } else {
+        // Opt-in by default only when a dir was given: the reuse table
+        // is fast enough warm-or-cold that surprise `./cache` writes
+        // aren't worth it outside `sfe suite`.
+        match cache_dir {
+            None => None,
+            Some(dir) => match cache::Cache::open(dir) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!("sfe: cannot open cache dir {dir}: {e}; running uncached");
+                    None
+                }
+            },
+        }
+    };
+
+    // A `.c` path gets a one-off detailed report on empty input.
+    if let Some(arg) = which {
+        if suite::by_name(arg).is_none() {
+            let src = match std::fs::read_to_string(arg) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("sfe: `{arg}` is neither a suite program nor a readable file: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            return match reuse_eval(arg, &src, vec![Vec::new()], cache.as_ref(), true) {
+                Some(_) => ExitCode::SUCCESS,
+                None => ExitCode::FAILURE,
+            };
+        }
+    }
+
+    match which {
+        Some(name) => {
+            let p = suite::by_name(name).expect("checked above");
+            match reuse_eval(p.name, p.source, p.inputs(), cache.as_ref(), true) {
+                Some(_) => ExitCode::SUCCESS,
+                None => ExitCode::FAILURE,
+            }
+        }
+        None => {
+            println!(
+                "{:<12} {:>8} {:>6} {:>12} {:>12}  {:>8}",
+                "program", "objects", "sites", "traced", "predicted", "match@25"
+            );
+            let mut ok = true;
+            for p in suite::all() {
+                ok &= reuse_eval(p.name, p.source, p.inputs(), cache.as_ref(), false).is_some();
+            }
+            if let Some(c) = &cache {
+                c.flush();
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+/// Short human label for a reuse-distance bin.
+fn bin_label(bin: usize) -> String {
+    match bin {
+        0 => "0".to_string(),
+        reuse::COLD_BIN => "cold".to_string(),
+        k => format!("<2^{k}"),
+    }
+}
+
+/// Estimates, traces (cached, pool-parallel over inputs), merges, and
+/// scores one program. Prints a table row (or a detailed per-object
+/// breakdown). `None` on compile or runtime failure.
+fn reuse_eval(
+    name: &str,
+    source: &str,
+    inputs: Vec<Vec<u8>>,
+    cache: Option<&cache::Cache>,
+    detail: bool,
+) -> Option<f64> {
+    let module = match minic::compile(source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("sfe: {name}: {}", e.render(source));
+            return None;
+        }
+    };
+    let program = flowgraph::build_program(&module);
+    let est = reuse::estimate(&program);
+
+    let compiled = profiler::compile(&program);
+    let objects = profiler::ObjectMap::for_module(&program.module);
+    let mut slots: Vec<Option<Result<profiler::ReuseTrace, profiler::RuntimeError>>> = Vec::new();
+    slots.resize_with(inputs.len(), || None);
+    pool::global().scope(|s| {
+        for (slot, input) in slots.iter_mut().zip(&inputs) {
+            let compiled = &compiled;
+            let objects = &objects;
+            s.spawn(move |_| {
+                let config = profiler::RunConfig::with_input(input.clone());
+                let key = cache::ArtifactKey::derive_reuse(source, &config);
+                if let Some(c) = cache {
+                    if let Some(t) = c.load_reuse_profile(key) {
+                        *slot = Some(Ok(t));
+                        return;
+                    }
+                }
+                *slot = Some(compiled.execute_traced(&config, objects).map(|(_, t)| {
+                    if let Some(c) = cache {
+                        c.store_batched(key, &cache::codec::Artifact::ReuseProfile(t.clone()));
+                    }
+                    t
+                }));
+            });
+        }
+    });
+    let mut merged: Option<profiler::ReuseTrace> = None;
+    for slot in slots {
+        match slot.expect("pool task filled its slot") {
+            Ok(t) => match &mut merged {
+                None => merged = Some(t),
+                Some(m) => m.merge(&t),
+            },
+            Err(e) => {
+                eprintln!("sfe: {name}: runtime error while tracing: {e}");
+                return None;
+            }
+        }
+    }
+    let trace = merged.expect("at least one input");
+    let score = reuse::score(&est, &trace);
+
+    if detail {
+        println!("{name}: predicted vs traced reuse distances");
+        println!(
+            "{:<16} {:>12} {:>12} {:>10} {:>10}",
+            "object", "predicted", "traced", "est.bin", "got.bin"
+        );
+        for (i, obj) in trace.objects.iter().enumerate() {
+            let traced_total: u64 = obj.hist.iter().sum();
+            let predicted_total: f64 = est.hists[i].iter().sum();
+            if traced_total == 0 && predicted_total == 0.0 {
+                continue;
+            }
+            let est_bin = est.hists[i]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map_or(0, |(b, _)| b);
+            let got_bin = obj
+                .hist
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &c)| c)
+                .map_or(0, |(b, _)| b);
+            println!(
+                "{:<16} {:>12.0} {:>12} {:>10} {:>10}",
+                obj.name,
+                predicted_total,
+                traced_total,
+                bin_label(est_bin),
+                bin_label(got_bin)
+            );
+        }
+        println!(
+            "[reuse weight-matching vs exact trace @25%: {:.0}%  ({} traced accesses)]",
+            score * 100.0,
+            trace.events
+        );
+    } else {
+        println!(
+            "{:<12} {:>8} {:>6} {:>12} {:>12}  {:>7.0}%",
+            name,
+            trace.objects.len(),
+            est.hists
+                .iter()
+                .filter(|h| h.iter().sum::<f64>() > 0.0)
+                .count(),
+            trace.events,
+            est.total().round(),
+            score * 100.0
+        );
+    }
+    Some(score)
 }
 
 /// `sfe fig10 [program]`: the measured Figure 10 experiment — optimize

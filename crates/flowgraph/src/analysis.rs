@@ -290,6 +290,114 @@ pub fn loop_depths(cfg: &Cfg) -> Vec<usize> {
     depth
 }
 
+/// One loop of a [`LoopForest`]: every natural loop sharing a header,
+/// merged (multiple back edges = one loop), with its nesting links.
+#[derive(Debug, Clone)]
+pub struct ForestLoop {
+    /// The loop header (dominates every body block).
+    pub header: BlockId,
+    /// All blocks in the merged loop, sorted (includes the header).
+    pub body: Vec<BlockId>,
+    /// Index of the innermost strictly-enclosing loop, if any.
+    pub parent: Option<usize>,
+    /// Indices of the loops nested directly inside this one.
+    pub children: Vec<usize>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: usize,
+}
+
+impl ForestLoop {
+    /// Whether `b` belongs to this loop's body (binary search).
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.binary_search(&b).is_ok()
+    }
+}
+
+/// The loop-nest forest of one CFG: natural loops merged by header and
+/// linked by strict body containment. Since every header dominates its
+/// body, two merged loops are either disjoint or strictly nested, so
+/// containment forms a forest.
+///
+/// Loops are stored innermost-first (ascending body size), so walking
+/// `parent` links climbs outward and the chain from
+/// [`LoopForest::innermost`] enumerates a block's nest inside-out.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    /// The merged loops, ascending body size (innermost first).
+    pub loops: Vec<ForestLoop>,
+    innermost: Vec<Option<usize>>,
+}
+
+impl LoopForest {
+    /// Builds the forest for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Self {
+        // Merge natural loops by header.
+        let mut by_header: std::collections::HashMap<BlockId, HashSet<BlockId>> =
+            std::collections::HashMap::new();
+        for l in natural_loops(cfg) {
+            by_header
+                .entry(l.header)
+                .or_default()
+                .extend(l.body.iter().copied());
+        }
+        let mut loops: Vec<ForestLoop> = by_header
+            .into_iter()
+            .map(|(header, body)| {
+                let mut body: Vec<BlockId> = body.into_iter().collect();
+                body.sort();
+                ForestLoop {
+                    header,
+                    body,
+                    parent: None,
+                    children: Vec::new(),
+                    depth: 0,
+                }
+            })
+            .collect();
+        // Strict nesting implies strictly larger bodies (two distinct
+        // headers cannot dominate each other), so after this sort a
+        // loop's parent candidates all come later in the vector.
+        loops.sort_by_key(|l| (l.body.len(), l.header));
+        for i in 0..loops.len() {
+            loops[i].parent = (i + 1..loops.len()).find(|&j| loops[j].contains(loops[i].header));
+        }
+        for i in 0..loops.len() {
+            if let Some(p) = loops[i].parent {
+                loops[p].children.push(i);
+            }
+        }
+        for i in (0..loops.len()).rev() {
+            loops[i].depth = match loops[i].parent {
+                Some(p) => loops[p].depth + 1,
+                None => 1,
+            };
+        }
+        let innermost = (0..cfg.blocks.len())
+            .map(|b| {
+                let b = BlockId(b as u32);
+                (0..loops.len()).find(|&i| loops[i].contains(b))
+            })
+            .collect();
+        LoopForest { loops, innermost }
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost(&self, b: BlockId) -> Option<usize> {
+        self.innermost[b.0 as usize]
+    }
+
+    /// The loops containing `b`, innermost first.
+    pub fn nest_of(&self, b: BlockId) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.innermost(b);
+        while let Some(i) = cur {
+            out.push(i);
+            cur = self.loops[i].parent;
+        }
+        out
+    }
+}
+
 /// Tarjan's strongly-connected components over an adjacency list.
 ///
 /// Returns components in reverse topological order (callees before

@@ -235,6 +235,61 @@ mod tests {
     }
 
     #[test]
+    fn loop_forest_links_triple_nest() {
+        let p = program(
+            r#"
+            int f(int n) {
+                int i, j, k, s = 0;
+                for (i = 0; i < n; i++) {
+                    for (j = 0; j < n; j++) {
+                        for (k = 0; k < n; k++) s += k;
+                        s += j;
+                    }
+                    s += i;
+                }
+                return s;
+            }
+            "#,
+        );
+        let cfg = p.cfg(p.function_id("f").unwrap());
+        let forest = analysis::LoopForest::compute(cfg);
+        assert_eq!(forest.loops.len(), 3);
+        let depths: Vec<usize> = forest.loops.iter().map(|l| l.depth).collect();
+        assert_eq!(depths, vec![3, 2, 1], "innermost-first ordering");
+        assert_eq!(forest.loops[0].parent, Some(1));
+        assert_eq!(forest.loops[1].parent, Some(2));
+        assert_eq!(forest.loops[2].parent, None);
+        assert_eq!(forest.loops[2].children, vec![1]);
+        // The innermost header's nest climbs all three loops.
+        let inner_header = forest.loops[0].header;
+        assert_eq!(forest.nest_of(inner_header), vec![0, 1, 2]);
+        // The entry block is outside every loop.
+        assert_eq!(forest.innermost(cfg.entry), None);
+    }
+
+    #[test]
+    fn loop_forest_merges_shared_headers() {
+        // `continue` and the bottom of the body both branch back to
+        // the header: two back edges, one merged loop.
+        let p = program(
+            r#"
+            int f(int n) {
+                int i, s = 0;
+                for (i = 0; i < n; i++) {
+                    if (i & 1) continue;
+                    s += i;
+                }
+                return s;
+            }
+            "#,
+        );
+        let cfg = p.cfg(p.function_id("f").unwrap());
+        let forest = analysis::LoopForest::compute(cfg);
+        assert_eq!(forest.loops.len(), 1);
+        assert_eq!(forest.loops[0].depth, 1);
+    }
+
+    #[test]
     fn do_while_executes_body_first() {
         let p = program("int f(int n) { int s = 0; do { s++; } while (s < n); return s; }");
         let cfg = p.cfg(p.function_id("f").unwrap());

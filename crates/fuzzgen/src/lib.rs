@@ -26,7 +26,7 @@
 //! let prog = fuzzgen::generate(42);
 //! let src = prog.render();
 //! fuzzgen::check_source(&src, &fuzzgen::CheckConfig::default())
-//!     .expect("seed 42 passes all six oracles");
+//!     .expect("seed 42 passes all seven oracles");
 //! ```
 //!
 //! The `fuzzgen` binary drives the same path from the command line; see
@@ -44,7 +44,7 @@ pub use gen::{generate, generate_with, GenConfig, Prog};
 pub use minimize::minimize;
 pub use oracle::{check_source, CheckConfig, CheckStats, Failure, FailureKind};
 
-/// Generates the program for `seed` and runs all six oracles on it.
+/// Generates the program for `seed` and runs all seven oracles on it.
 ///
 /// # Errors
 ///

@@ -107,7 +107,7 @@ fn main() -> ExitCode {
     }
     if failures == 0 {
         println!(
-            "{} seeds ({}..{}) passed all six oracles: {} interpreter steps, {} CFG blocks",
+            "{} seeds ({}..{}) passed all seven oracles: {} interpreter steps, {} CFG blocks",
             opts.count,
             opts.seed,
             opts.seed + opts.count - 1,

@@ -1,6 +1,6 @@
 //! The differential oracles.
 //!
-//! [`check_source`] runs one MiniC program through six independent
+//! [`check_source`] runs one MiniC program through seven independent
 //! cross-checks; any disagreement is a bug in (at least) one of the
 //! crates under test:
 //!
@@ -31,6 +31,13 @@
 //!    call sites, function entries) as the unoptimized VM. Only
 //!    `steps` and `func_cost` — the quantities the optimizer exists to
 //!    change — are excluded.
+//! 7. **Reuse agreement** — the static reuse estimate must be finite,
+//!    non-negative, and normalized (mass sums to 1, or is all-zero
+//!    when the program touches no traced memory); the exact reuse
+//!    trace must be bit-identical between the bytecode VM and the AST
+//!    walker, invariant under merge order (the property pool fan-out
+//!    relies on), and collecting it must not perturb the frequency
+//!    profile, step count, or output of the run.
 
 use flowgraph::{Program, Terminator};
 use linsolve::FlowSystem;
@@ -76,6 +83,10 @@ pub enum FailureKind {
     /// Oracle 6: the optimized program diverged from the unoptimized
     /// VM (output, exit state, or a count profile counter).
     OptMismatch,
+    /// Oracle 7: the static reuse estimate is malformed, or the exact
+    /// reuse traces of the VM and the AST walker disagree, or tracing
+    /// perturbed the run.
+    ReuseMismatch,
     /// The program faulted at runtime (generated programs are total by
     /// construction, so this is a generator or interpreter bug).
     Runtime,
@@ -91,6 +102,7 @@ impl std::fmt::Display for FailureKind {
             FailureKind::Invariant => "invariant",
             FailureKind::Estimator => "estimator",
             FailureKind::OptMismatch => "opt-mismatch",
+            FailureKind::ReuseMismatch => "reuse-mismatch",
             FailureKind::Runtime => "runtime",
         };
         f.write_str(s)
@@ -129,7 +141,7 @@ pub struct CheckStats {
     pub output_len: usize,
 }
 
-/// Runs all five oracles over `src`. Returns summary statistics on
+/// Runs all seven oracles over `src`. Returns summary statistics on
 /// success and the first disagreement otherwise.
 pub fn check_source(src: &str, config: &CheckConfig) -> Result<CheckStats, Failure> {
     // Compile (front end under test).
@@ -164,6 +176,9 @@ pub fn check_source(src: &str, config: &CheckConfig) -> Result<CheckStats, Failu
 
     // Oracle 6: the optimizing backend against the unoptimized run.
     optimizer_equivalence(&program, &vm, &run_config)?;
+
+    // Oracle 7: the reuse estimator and the exact tracing mode.
+    reuse_agreement(&program, &vm, &run_config)?;
 
     Ok(CheckStats {
         steps: vm.steps,
@@ -729,6 +744,85 @@ fn estimator_sanity(program: &Program) -> Result<(), Failure> {
                 ));
             }
         }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Oracle 7: reuse estimator and exact tracing
+// ---------------------------------------------------------------------
+
+/// Checks the memory-reuse subsystem end to end: the static estimate
+/// is well-formed, the exact traces of the two execution engines are
+/// bit-identical, merging is order-invariant, and the tracing tap is
+/// observationally free.
+fn reuse_agreement(
+    program: &Program,
+    vm: &RunOutcome,
+    run_config: &RunConfig,
+) -> Result<(), Failure> {
+    // The static prediction: finite, non-negative, normalized.
+    let est = reuse::estimate(program);
+    let mass = est.mass();
+    if mass.iter().any(|v| !v.is_finite() || *v < 0.0) {
+        return Err(Failure::new(
+            FailureKind::ReuseMismatch,
+            format!("estimate mass has a non-finite or negative cell: {mass:?}"),
+        ));
+    }
+    let total: f64 = mass.iter().sum();
+    if total != 0.0 && (total - 1.0).abs() > 1e-6 {
+        return Err(Failure::new(
+            FailureKind::ReuseMismatch,
+            format!("estimate mass sums to {total}, expected 0 or 1"),
+        ));
+    }
+
+    // The exact trace, from both engines.
+    let (vm_out, vm_trace) = profiler::run_traced(program, run_config).map_err(|e| {
+        Failure::new(
+            FailureKind::ReuseMismatch,
+            format!("traced vm run faults where plain run succeeded: {e:?}"),
+        )
+    })?;
+    let (ast_out, ast_trace) = profiler::run_ast_traced(program, run_config).map_err(|e| {
+        Failure::new(
+            FailureKind::ReuseMismatch,
+            format!("traced ast run faults where plain run succeeded: {e:?}"),
+        )
+    })?;
+    if vm_trace != ast_trace {
+        return Err(Failure::new(
+            FailureKind::ReuseMismatch,
+            format!("vm trace {vm_trace:?} vs ast trace {ast_trace:?}"),
+        ));
+    }
+
+    // Tracing must not perturb the run it observes — in either engine
+    // (oracle 2 already pins plain VM == plain AST walker).
+    for (engine, out) in [("vm", &vm_out), ("ast", &ast_out)] {
+        if out.profile != vm.profile || out.steps != vm.steps || out.output != vm.output {
+            return Err(Failure::new(
+                FailureKind::ReuseMismatch,
+                format!("tracing perturbed the {engine} profile, step count, or output"),
+            ));
+        }
+    }
+
+    // Merge is a plain per-bin sum: commutative, with the empty trace
+    // as identity — the property pool fan-out at any size relies on.
+    let objects = profiler::ObjectMap::for_module(&program.module);
+    let mut ab = profiler::ReuseTrace::empty(&objects);
+    ab.merge(&vm_trace);
+    ab.merge(&ast_trace);
+    let mut ba = profiler::ReuseTrace::empty(&objects);
+    ba.merge(&ast_trace);
+    ba.merge(&vm_trace);
+    if ab != ba {
+        return Err(Failure::new(
+            FailureKind::ReuseMismatch,
+            "trace merge is not order-invariant".to_string(),
+        ));
     }
     Ok(())
 }

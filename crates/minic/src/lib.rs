@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod ast;
 pub mod builtins;
 pub mod error;

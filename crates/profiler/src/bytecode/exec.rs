@@ -19,6 +19,7 @@ use super::{ArithMode, CompiledProgram, Op, ParamBind, SwitchTable, NONE32};
 use crate::interp::{
     convert_for_class, RunConfig, RunOutcome, RuntimeError, Value, CALL_COST, STACK_BASE,
 };
+use crate::reuse::{MemTap, NoTap};
 use minic::ast::BinOp;
 use minic::builtins::Builtin;
 use std::cmp::Ordering;
@@ -43,8 +44,11 @@ struct Frame {
     rp: usize,
 }
 
-struct Vm<'a> {
+struct Vm<'a, T: MemTap> {
     cp: &'a CompiledProgram,
+    /// Data-segment access probe ([`NoTap`] in normal runs — the
+    /// `T::ACTIVE` checks below monomorphize away entirely).
+    tap: &'a mut T,
     data: Vec<Value>,
     stack: Vec<Value>,
     regs: Vec<Value>,
@@ -149,6 +153,20 @@ pub(super) fn execute_in(
     config: &RunConfig,
     scratch: &mut ExecScratch,
 ) -> Result<RunOutcome, RuntimeError> {
+    execute_tapped(cp, config, scratch, &mut NoTap)
+}
+
+/// The generic engine: runs `cp` with `tap` observing every
+/// data-segment access. With [`NoTap`] this monomorphizes to the
+/// probe-free fast path `execute_in` has always been; with an active
+/// tap every register/frame/data accessor additionally switches to
+/// checked indexing (see the accessor comments below).
+pub(super) fn execute_tapped<T: MemTap>(
+    cp: &CompiledProgram,
+    config: &RunConfig,
+    scratch: &mut ExecScratch,
+    tap: &mut T,
+) -> Result<RunOutcome, RuntimeError> {
     let main = cp.main.ok_or(RuntimeError::NoMain)?;
     // Move the recycled buffers into the Vm (pointer swaps), reset
     // their contents, and hand them back below. `clear` + zero-fill
@@ -173,6 +191,7 @@ pub(super) fn execute_in(
     edges.resize(cp.edge_keys.len(), 0);
     let mut vm = Vm {
         cp,
+        tap,
         data,
         stack,
         regs,
@@ -239,15 +258,15 @@ pub(super) fn execute_in(
     })
 }
 
-impl<'a> Vm<'a> {
+impl<'a, T: MemTap> Vm<'a, T> {
     // ----- memory (identical to the AST interpreter's) -----
 
-    fn load(&self, addr: u64) -> Result<Value, RuntimeError> {
-        load_mem(&self.data, &self.stack, addr)
+    fn load(&mut self, addr: u64) -> Result<Value, RuntimeError> {
+        load_mem(&mut *self.tap, &self.data, &self.stack, addr)
     }
 
     fn store(&mut self, addr: u64, v: Value) -> Result<(), RuntimeError> {
-        store_mem(&mut self.data, &mut self.stack, addr, v)
+        store_mem(&mut *self.tap, &mut self.data, &mut self.stack, addr, v)
     }
 
     fn copy_words(&mut self, dst: u64, src: u64, n: usize) -> Result<(), RuntimeError> {
@@ -271,10 +290,20 @@ impl<'a> Vm<'a> {
     // and every frame offset is `< frame_size` (sema's layout), and
     // `enter`/`run` size the register window and frame before any op
     // of the function executes. Debug builds keep the assertions.
+    //
+    // Trace mode (`T::ACTIVE`) switches every one of them to checked
+    // indexing with a deterministic fallback (reads yield `Int(0)`,
+    // writes become no-ops): a reuse trace of a program that trips a
+    // compiler-invariant bug must read garbage *deterministically*,
+    // never exercise UB. The branch is compile-time, so the normal
+    // dispatch loop keeps the unchecked fast path.
 
     #[inline(always)]
     fn reg(&self, r: u16) -> Value {
         let i = self.rp + r as usize;
+        if T::ACTIVE {
+            return self.regs.get(i).copied().unwrap_or(Value::Int(0));
+        }
         debug_assert!(i < self.regs.len());
         // SAFETY: see above — `rp + max_regs <= regs.len()` holds
         // between `enter`/`Ret` transitions, and `r < max_regs`.
@@ -284,6 +313,12 @@ impl<'a> Vm<'a> {
     #[inline(always)]
     fn set_reg(&mut self, r: u16, v: Value) {
         let i = self.rp + r as usize;
+        if T::ACTIVE {
+            if let Some(slot) = self.regs.get_mut(i) {
+                *slot = v;
+            }
+            return;
+        }
         debug_assert!(i < self.regs.len());
         // SAFETY: as in `reg`.
         unsafe { *self.regs.get_unchecked_mut(i) = v }
@@ -292,6 +327,9 @@ impl<'a> Vm<'a> {
     #[inline(always)]
     fn local(&self, off: u32) -> Value {
         let i = self.fp + off as usize;
+        if T::ACTIVE {
+            return self.stack.get(i).copied().unwrap_or(Value::Int(0));
+        }
         debug_assert!(i < self.stack.len());
         // SAFETY: `fp + frame_size <= stack.len()` for the running
         // frame, and every compiled offset is `< frame_size`.
@@ -301,6 +339,12 @@ impl<'a> Vm<'a> {
     #[inline(always)]
     fn set_local(&mut self, off: u32, v: Value) {
         let i = self.fp + off as usize;
+        if T::ACTIVE {
+            if let Some(slot) = self.stack.get_mut(i) {
+                *slot = v;
+            }
+            return;
+        }
         debug_assert!(i < self.stack.len());
         // SAFETY: as in `local`.
         unsafe { *self.stack.get_unchecked_mut(i) = v }
@@ -308,6 +352,13 @@ impl<'a> Vm<'a> {
 
     #[inline(always)]
     fn global(&self, idx: u32) -> Value {
+        if T::ACTIVE {
+            return self
+                .data
+                .get(idx as usize)
+                .copied()
+                .unwrap_or(Value::Int(0));
+        }
         debug_assert!((idx as usize) < self.data.len());
         // SAFETY: global indices address the static image laid out at
         // compile time, and `data` only ever grows (malloc appends).
@@ -316,9 +367,22 @@ impl<'a> Vm<'a> {
 
     #[inline(always)]
     fn set_global(&mut self, idx: u32, v: Value) {
+        if T::ACTIVE {
+            if let Some(slot) = self.data.get_mut(idx as usize) {
+                *slot = v;
+            }
+            return;
+        }
         debug_assert!((idx as usize) < self.data.len());
         // SAFETY: as in `global`.
         unsafe { *self.data.get_unchecked_mut(idx as usize) = v }
+    }
+
+    /// The data-segment word address of global slot `idx` (the image
+    /// is 1-based: address 0 is NULL).
+    #[inline(always)]
+    fn global_addr(idx: u32) -> u64 {
+        idx as u64 + 1
     }
 
     // ----- profile counters -----
@@ -445,12 +509,25 @@ impl<'a> Vm<'a> {
         }
 
         loop {
-            debug_assert!(pc < cp.ops.len());
-            // SAFETY: `pc` is either a compiler-emitted jump target or
-            // the successor of a non-terminating op; every block ends
-            // in a control transfer, so execution cannot run off the
-            // end of the stream.
-            let op = unsafe { *cp.ops.get_unchecked(pc) };
+            let op = if T::ACTIVE {
+                // Trace mode: a wild pc (a compiler bug) must fail
+                // deterministically, not read past the op stream.
+                match cp.ops.get(pc) {
+                    Some(&op) => op,
+                    None => {
+                        return Err(
+                            RuntimeError::Other(format!("pc {pc} outside the op stream")).into(),
+                        )
+                    }
+                }
+            } else {
+                debug_assert!(pc < cp.ops.len());
+                // SAFETY: `pc` is either a compiler-emitted jump target
+                // or the successor of a non-terminating op; every block
+                // ends in a control transfer, so execution cannot run
+                // off the end of the stream.
+                unsafe { *cp.ops.get_unchecked(pc) }
+            };
             pc += 1;
             match op {
                 Op::Tick(n) => tick!(n),
@@ -497,6 +574,9 @@ impl<'a> Vm<'a> {
                 }
                 Op::LoadGlobal { dst, idx } => {
                     let v = self.global(idx);
+                    if T::ACTIVE {
+                        self.tap.access(Self::global_addr(idx));
+                    }
                     self.set_reg(dst, v);
                 }
                 Op::StoreGlobal {
@@ -507,6 +587,9 @@ impl<'a> Vm<'a> {
                 } => {
                     let v = convert_for_class(class, self.reg(src));
                     self.set_global(idx, v);
+                    if T::ACTIVE {
+                        self.tap.access(Self::global_addr(idx));
+                    }
                     self.set_reg(dst, v);
                 }
                 Op::Load { dst, addr, tick } => {
@@ -700,8 +783,14 @@ impl<'a> Vm<'a> {
                     post,
                 } => {
                     let old = self.global(idx);
+                    if T::ACTIVE {
+                        self.tap.access(Self::global_addr(idx));
+                    }
                     let new = incdec(old, delta);
                     self.set_global(idx, new);
+                    if T::ACTIVE {
+                        self.tap.access(Self::global_addr(idx));
+                    }
                     self.set_reg(dst, if post { old } else { new });
                 }
                 Op::IncDec {
@@ -862,8 +951,14 @@ impl<'a> Vm<'a> {
                 } => {
                     tick!(tick);
                     let cur = self.global(idx);
+                    if T::ACTIVE {
+                        self.tap.access(Self::global_addr(idx));
+                    }
                     let v = convert_for_class(class, arith(mode, cur, self.reg(src))?);
                     self.set_global(idx, v);
+                    if T::ACTIVE {
+                        self.tap.access(Self::global_addr(idx));
+                    }
                     self.set_reg(dst, v);
                 }
                 Op::Rmw {
@@ -1143,10 +1238,17 @@ impl<'a> Vm<'a> {
         Ok(match b {
             Builtin::Printf => {
                 let fmt_ptr = arg(0).to_ptr();
-                read_cs(&self.data, &self.stack, fmt_ptr, &mut self.sbuf_a)?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    fmt_ptr,
+                    &mut self.sbuf_a,
+                )?;
                 let lo = self.rp + argbase + 1.min(nargs);
                 let hi = self.rp + argbase + nargs;
                 format_into(
+                    &mut *self.tap,
                     &self.data,
                     &self.stack,
                     &self.sbuf_a,
@@ -1160,10 +1262,17 @@ impl<'a> Vm<'a> {
             Builtin::Sprintf => {
                 let buf = arg(0).to_ptr();
                 let fmt_ptr = arg(1).to_ptr();
-                read_cs(&self.data, &self.stack, fmt_ptr, &mut self.sbuf_a)?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    fmt_ptr,
+                    &mut self.sbuf_a,
+                )?;
                 let lo = self.rp + argbase + 2.min(nargs);
                 let hi = self.rp + argbase + nargs;
                 format_into(
+                    &mut *self.tap,
                     &self.data,
                     &self.stack,
                     &self.sbuf_a,
@@ -1171,7 +1280,13 @@ impl<'a> Vm<'a> {
                     &mut self.fmt_out,
                     &mut self.sbuf_b,
                 )?;
-                write_cs(&mut self.data, &mut self.stack, buf, &self.fmt_out)?;
+                write_cs(
+                    &mut *self.tap,
+                    &mut self.data,
+                    &mut self.stack,
+                    buf,
+                    &self.fmt_out,
+                )?;
                 Value::Int(self.fmt_out.len() as i64)
             }
             Builtin::Putchar => {
@@ -1179,7 +1294,13 @@ impl<'a> Vm<'a> {
                 arg(0)
             }
             Builtin::Puts => {
-                read_cs(&self.data, &self.stack, arg(0).to_ptr(), &mut self.sbuf_a)?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    arg(0).to_ptr(),
+                    &mut self.sbuf_a,
+                )?;
                 self.output.extend_from_slice(self.sbuf_a.as_bytes());
                 self.output.push(b'\n');
                 Value::Int(0)
@@ -1219,18 +1340,42 @@ impl<'a> Vm<'a> {
                 Value::Ptr(d)
             }
             Builtin::Strlen => {
-                read_cs(&self.data, &self.stack, arg(0).to_ptr(), &mut self.sbuf_a)?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    arg(0).to_ptr(),
+                    &mut self.sbuf_a,
+                )?;
                 Value::Int(self.sbuf_a.len() as i64)
             }
             Builtin::Strcpy => {
                 let d = arg(0).to_ptr();
-                read_cs(&self.data, &self.stack, arg(1).to_ptr(), &mut self.sbuf_a)?;
-                write_cs(&mut self.data, &mut self.stack, d, &self.sbuf_a)?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    arg(1).to_ptr(),
+                    &mut self.sbuf_a,
+                )?;
+                write_cs(
+                    &mut *self.tap,
+                    &mut self.data,
+                    &mut self.stack,
+                    d,
+                    &self.sbuf_a,
+                )?;
                 Value::Ptr(d)
             }
             Builtin::Strncpy => {
                 let d = arg(0).to_ptr();
-                read_cs(&self.data, &self.stack, arg(1).to_ptr(), &mut self.sbuf_a)?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    arg(1).to_ptr(),
+                    &mut self.sbuf_a,
+                )?;
                 let n = arg(2).to_int().max(0) as usize;
                 // Byte length of the first `n` chars (chars ≥ 128 are
                 // two UTF-8 bytes — the oracle's `chars().take(n)`
@@ -1240,6 +1385,7 @@ impl<'a> Vm<'a> {
                 for i in 0..byte_end {
                     let b2 = s.as_bytes()[i];
                     store_mem(
+                        &mut *self.tap,
                         &mut self.data,
                         &mut self.stack,
                         d + i as u64,
@@ -1252,14 +1398,38 @@ impl<'a> Vm<'a> {
                 Value::Ptr(d)
             }
             Builtin::Strcmp => {
-                read_cs(&self.data, &self.stack, arg(0).to_ptr(), &mut self.sbuf_a)?;
-                read_cs(&self.data, &self.stack, arg(1).to_ptr(), &mut self.sbuf_b)?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    arg(0).to_ptr(),
+                    &mut self.sbuf_a,
+                )?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    arg(1).to_ptr(),
+                    &mut self.sbuf_b,
+                )?;
                 Value::Int(ord_to_int(self.sbuf_a.cmp(&self.sbuf_b)))
             }
             Builtin::Strncmp => {
                 let n = arg(2).to_int().max(0) as usize;
-                read_cs(&self.data, &self.stack, arg(0).to_ptr(), &mut self.sbuf_a)?;
-                read_cs(&self.data, &self.stack, arg(1).to_ptr(), &mut self.sbuf_b)?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    arg(0).to_ptr(),
+                    &mut self.sbuf_a,
+                )?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    arg(1).to_ptr(),
+                    &mut self.sbuf_b,
+                )?;
                 // Char-sequence order equals the order of the collected
                 // strings (UTF-8 preserves code-point order).
                 let ord = self.sbuf_a.chars().take(n).cmp(self.sbuf_b.chars().take(n));
@@ -1267,14 +1437,32 @@ impl<'a> Vm<'a> {
             }
             Builtin::Strcat => {
                 let d = arg(0).to_ptr();
-                read_cs(&self.data, &self.stack, d, &mut self.sbuf_a)?;
-                read_cs(&self.data, &self.stack, arg(1).to_ptr(), &mut self.sbuf_b)?;
+                read_cs(&mut *self.tap, &self.data, &self.stack, d, &mut self.sbuf_a)?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    arg(1).to_ptr(),
+                    &mut self.sbuf_b,
+                )?;
                 let at = d + self.sbuf_a.len() as u64;
-                write_cs(&mut self.data, &mut self.stack, at, &self.sbuf_b)?;
+                write_cs(
+                    &mut *self.tap,
+                    &mut self.data,
+                    &mut self.stack,
+                    at,
+                    &self.sbuf_b,
+                )?;
                 Value::Ptr(d)
             }
             Builtin::Atoi => {
-                read_cs(&self.data, &self.stack, arg(0).to_ptr(), &mut self.sbuf_a)?;
+                read_cs(
+                    &mut *self.tap,
+                    &self.data,
+                    &self.stack,
+                    arg(0).to_ptr(),
+                    &mut self.sbuf_a,
+                )?;
                 Value::Int(self.sbuf_a.trim().parse::<i64>().unwrap_or(0))
             }
             Builtin::Abs => Value::Int(arg(0).to_int().wrapping_abs()),
@@ -1415,8 +1603,18 @@ pub fn arith(mode: ArithMode, va: Value, vb: Value) -> Result<Value, RuntimeErro
 }
 
 // ----- memory free functions (split borrows with the string buffers) -----
+//
+// Each takes the tap explicitly so builtins can keep split-borrowing
+// the VM's string buffers; the tap fires only on *successful*
+// data-segment accesses (`0 < addr < STACK_BASE`), mirroring the AST
+// walker's `load`/`store` exactly.
 
-fn load_mem(data: &[Value], stack: &[Value], addr: u64) -> Result<Value, RuntimeError> {
+fn load_mem<T: MemTap>(
+    tap: &mut T,
+    data: &[Value],
+    stack: &[Value],
+    addr: u64,
+) -> Result<Value, RuntimeError> {
     if addr == 0 {
         return Err(RuntimeError::NullDeref);
     }
@@ -1428,13 +1626,19 @@ fn load_mem(data: &[Value], stack: &[Value], addr: u64) -> Result<Value, Runtime
             .ok_or(RuntimeError::OutOfBounds { addr })
     } else {
         let i = (addr - 1) as usize;
-        data.get(i)
+        let v = data
+            .get(i)
             .copied()
-            .ok_or(RuntimeError::OutOfBounds { addr })
+            .ok_or(RuntimeError::OutOfBounds { addr })?;
+        if T::ACTIVE {
+            tap.access(addr);
+        }
+        Ok(v)
     }
 }
 
-fn store_mem(
+fn store_mem<T: MemTap>(
+    tap: &mut T,
     data: &mut [Value],
     stack: &mut [Value],
     addr: u64,
@@ -1443,23 +1647,32 @@ fn store_mem(
     if addr == 0 {
         return Err(RuntimeError::NullDeref);
     }
-    let slot = if addr >= STACK_BASE {
-        stack.get_mut((addr - STACK_BASE) as usize)
-    } else {
-        data.get_mut((addr - 1) as usize)
-    };
-    match slot {
-        Some(s) => {
-            *s = v;
-            Ok(())
+    if addr >= STACK_BASE {
+        match stack.get_mut((addr - STACK_BASE) as usize) {
+            Some(s) => {
+                *s = v;
+                Ok(())
+            }
+            None => Err(RuntimeError::OutOfBounds { addr }),
         }
-        None => Err(RuntimeError::OutOfBounds { addr }),
+    } else {
+        match data.get_mut((addr - 1) as usize) {
+            Some(s) => {
+                *s = v;
+                if T::ACTIVE {
+                    tap.access(addr);
+                }
+                Ok(())
+            }
+            None => Err(RuntimeError::OutOfBounds { addr }),
+        }
     }
 }
 
 /// Read a NUL-terminated string into `out` (cleared first), with the
 /// oracle's byte-as-`char` semantics and 1M-word runaway guard.
-fn read_cs(
+fn read_cs<T: MemTap>(
+    tap: &mut T,
     data: &[Value],
     stack: &[Value],
     mut addr: u64,
@@ -1467,7 +1680,7 @@ fn read_cs(
 ) -> Result<(), RuntimeError> {
     out.clear();
     for _ in 0..1_000_000 {
-        let c = load_mem(data, stack, addr)?.to_int();
+        let c = load_mem(tap, data, stack, addr)?.to_int();
         if c == 0 {
             return Ok(());
         }
@@ -1477,21 +1690,23 @@ fn read_cs(
     Err(RuntimeError::Other("unterminated string".into()))
 }
 
-fn write_cs(
+fn write_cs<T: MemTap>(
+    tap: &mut T,
     data: &mut [Value],
     stack: &mut [Value],
     addr: u64,
     s: &str,
 ) -> Result<(), RuntimeError> {
     for (i, b) in s.bytes().enumerate() {
-        store_mem(data, stack, addr + i as u64, Value::Int(b as i64))?;
+        store_mem(tap, data, stack, addr + i as u64, Value::Int(b as i64))?;
     }
-    store_mem(data, stack, addr + s.len() as u64, Value::Int(0))
+    store_mem(tap, data, stack, addr + s.len() as u64, Value::Int(0))
 }
 
 /// `printf`-style formatting into `out` (cleared first); `tmp` holds
 /// `%s` operands. Mirrors `Interp::format` conversion-for-conversion.
-fn format_into(
+fn format_into<T: MemTap>(
+    tap: &mut T,
     data: &[Value],
     stack: &[Value],
     fmt: &str,
@@ -1532,7 +1747,7 @@ fn format_into(
                 Ok(())
             }
             Some('s') => {
-                read_cs(data, stack, take(&mut next).to_ptr(), tmp)?;
+                read_cs(tap, data, stack, take(&mut next).to_ptr(), tmp)?;
                 out.push_str(tmp);
                 Ok(())
             }

@@ -38,6 +38,7 @@ pub use exec::{arith, cmp_vals, ExecScratch};
 
 use crate::interp::{RunConfig, RunOutcome, RuntimeError, TyClass, Value};
 use crate::profile::Profile;
+use crate::reuse::{ObjectMap, ReuseCollector, ReuseTrace};
 use flowgraph::{BlockId, Program};
 use minic::ast::BinOp;
 use minic::builtins::Builtin;
@@ -605,6 +606,42 @@ impl CompiledProgram {
         out
     }
 
+    /// [`Self::execute`] with exact reuse-distance tracing: every
+    /// *data-segment* access (globals, string literals, `malloc`
+    /// storage — never VM stack traffic) feeds an LRU stack-distance
+    /// collector partitioned by the object map. The tap is a
+    /// monomorphized generic, so the normal dispatch loop compiled for
+    /// [`Self::execute`] stays probe-free; the traced instantiation
+    /// additionally uses *checked* register/frame/data indexing, so a
+    /// trace of a buggy program fails deterministically instead of
+    /// reading garbage.
+    ///
+    /// The profile inside the returned [`RunOutcome`] is identical to
+    /// the untraced one — tracing observes memory traffic and changes
+    /// no frequency counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`RuntimeError`]s as [`Self::execute`], plus
+    /// out-of-stream program-counter errors that the unchecked build
+    /// would turn into UB.
+    pub fn execute_traced(
+        &self,
+        config: &RunConfig,
+        objects: &ObjectMap,
+    ) -> Result<(RunOutcome, ReuseTrace), RuntimeError> {
+        let _sp = obs::span("reuse.trace");
+        let mut tap = ReuseCollector::new(objects.clone());
+        let mut scratch = ExecScratch::default();
+        let out = exec::execute_tapped(self, config, &mut scratch, &mut tap)?;
+        let trace = tap.finish();
+        if obs::enabled() {
+            obs::counter_add("reuse.traced_runs", 1);
+            obs::counter_add("reuse.traced_accesses", trace.events);
+        }
+        Ok((out, trace))
+    }
+
     /// 128-bit fingerprint of the post-fold IR: everything execution
     /// reads (ops, function metadata, switch tables, data image,
     /// initializer images). Two programs with the same fingerprint
@@ -713,6 +750,22 @@ pub fn compile(program: &Program) -> CompiledProgram {
 /// ```
 pub fn run(program: &Program, config: &RunConfig) -> Result<RunOutcome, RuntimeError> {
     cached_compile(program).execute(config)
+}
+
+/// [`run`] with exact reuse-distance tracing (see
+/// [`CompiledProgram::execute_traced`]). Uses the same compile-once
+/// cache as [`run`]; the object map is derived from the module's
+/// global layout.
+///
+/// # Errors
+///
+/// Returns the same [`RuntimeError`]s as [`run`].
+pub fn run_traced(
+    program: &Program,
+    config: &RunConfig,
+) -> Result<(RunOutcome, ReuseTrace), RuntimeError> {
+    let objects = ObjectMap::for_module(&program.module);
+    cached_compile(program).execute_traced(config, &objects)
 }
 
 /// Upper bound on cached compiled programs; the cache is cleared when

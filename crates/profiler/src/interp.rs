@@ -14,6 +14,7 @@
 //! [`STACK_BASE`]. Every scalar occupies one word.
 
 use crate::profile::Profile;
+use crate::reuse::{MemTap, NoTap, ObjectMap, ReuseCollector, ReuseTrace};
 use flowgraph::{BlockId, Cfg, Instr, Program, Terminator};
 use minic::ast::{BinOp, Expr, ExprKind, UnOp};
 use minic::builtins::Builtin;
@@ -227,25 +228,54 @@ impl RunOutcome {
 /// assert_eq!(out.exit_code, 0);
 /// ```
 pub fn run_ast(program: &Program, config: &RunConfig) -> Result<RunOutcome, RuntimeError> {
-    // Deep MiniC recursion nests Rust stack frames; give the
-    // interpreter a roomy stack of its own.
+    on_interp_thread(program, config, NoTap).map(|(out, _)| out)
+}
+
+/// [`run_ast`] with exact reuse-distance tracing: the walker's
+/// `load`/`store` feed every successful *data-segment* access (never
+/// the locals stack) into a [`ReuseCollector`] partitioned by the
+/// module's global layout. The differential oracle for the bytecode
+/// VM's `run_traced` — both must produce bit-identical traces.
+///
+/// # Errors
+///
+/// Returns the same [`RuntimeError`]s as [`run_ast`].
+pub fn run_ast_traced(
+    program: &Program,
+    config: &RunConfig,
+) -> Result<(RunOutcome, ReuseTrace), RuntimeError> {
+    let tap = ReuseCollector::new(ObjectMap::for_module(&program.module));
+    on_interp_thread(program, config, tap).map(|(out, tap)| (out, tap.finish()))
+}
+
+/// Runs on a dedicated roomy-stack thread (deep MiniC recursion nests
+/// Rust stack frames) and hands the tap back with the outcome.
+fn on_interp_thread<T: MemTap + Send>(
+    program: &Program,
+    config: &RunConfig,
+    tap: T,
+) -> Result<(RunOutcome, T), RuntimeError> {
     std::thread::scope(|scope| {
         std::thread::Builder::new()
             .name("minic-interp".into())
             .stack_size(512 << 20)
-            .spawn_scoped(scope, || run_on_this_thread(program, config))
+            .spawn_scoped(scope, || run_on_this_thread(program, config, tap))
             .expect("spawning the interpreter thread")
             .join()
             .expect("interpreter thread panicked")
     })
 }
 
-fn run_on_this_thread(program: &Program, config: &RunConfig) -> Result<RunOutcome, RuntimeError> {
+fn run_on_this_thread<T: MemTap>(
+    program: &Program,
+    config: &RunConfig,
+    tap: T,
+) -> Result<(RunOutcome, T), RuntimeError> {
     let main = program
         .module
         .function_id("main")
         .ok_or(RuntimeError::NoMain)?;
-    let mut interp = Interp::new(program, config);
+    let mut interp = Interp::new(program, config, tap);
     interp.load_statics();
     let result = interp.call_function(main, Vec::new());
     let exit_code = match result {
@@ -253,12 +283,15 @@ fn run_on_this_thread(program: &Program, config: &RunConfig) -> Result<RunOutcom
         Err(Abort::Exit(code)) => code,
         Err(Abort::Error(e)) => return Err(e),
     };
-    Ok(RunOutcome {
-        exit_code,
-        profile: interp.profile,
-        output: interp.output,
-        steps: interp.steps,
-    })
+    Ok((
+        RunOutcome {
+            exit_code,
+            profile: interp.profile,
+            output: interp.output,
+            steps: interp.steps,
+        },
+        interp.tap,
+    ))
 }
 
 /// A compact classification of an expression's type, precomputed per
@@ -536,7 +569,12 @@ impl From<RuntimeError> for Abort {
 
 type VResult = Result<Value, Abort>;
 
-struct Interp<'p> {
+struct Interp<'p, T: MemTap> {
+    /// Reuse-trace tap: [`NoTap`] in normal runs (every `T::ACTIVE`
+    /// check monomorphizes away), a [`ReuseCollector`] under
+    /// [`run_ast_traced`]. Fires on successful data-segment accesses
+    /// only, mirroring the bytecode VM's tap placement exactly.
+    tap: T,
     program: &'p Program,
     tables: NodeTables,
     data: Vec<Value>,
@@ -556,9 +594,10 @@ struct Interp<'p> {
     fp: usize,
 }
 
-impl<'p> Interp<'p> {
-    fn new(program: &'p Program, config: &'p RunConfig) -> Self {
+impl<'p, T: MemTap> Interp<'p, T> {
+    fn new(program: &'p Program, config: &'p RunConfig, tap: T) -> Self {
         Interp {
+            tap,
             program,
             tables: NodeTables::build(program),
             data: Vec::new(),
@@ -587,7 +626,7 @@ impl<'p> Interp<'p> {
         addr
     }
 
-    fn load(&self, addr: u64) -> Result<Value, RuntimeError> {
+    fn load(&mut self, addr: u64) -> Result<Value, RuntimeError> {
         if addr == 0 {
             return Err(RuntimeError::NullDeref);
         }
@@ -599,10 +638,15 @@ impl<'p> Interp<'p> {
                 .ok_or(RuntimeError::OutOfBounds { addr })
         } else {
             let i = (addr - 1) as usize;
-            self.data
+            let v = self
+                .data
                 .get(i)
                 .copied()
-                .ok_or(RuntimeError::OutOfBounds { addr })
+                .ok_or(RuntimeError::OutOfBounds { addr })?;
+            if T::ACTIVE {
+                self.tap.access(addr);
+            }
+            Ok(v)
         }
     }
 
@@ -624,6 +668,9 @@ impl<'p> Interp<'p> {
             match self.data.get_mut(i) {
                 Some(slot) => {
                     *slot = v;
+                    if T::ACTIVE {
+                        self.tap.access(addr);
+                    }
                     Ok(())
                 }
                 None => Err(RuntimeError::OutOfBounds { addr }),
@@ -1239,7 +1286,7 @@ impl<'p> Interp<'p> {
 
     // ----- builtins -----
 
-    fn read_cstring(&self, mut addr: u64) -> Result<String, RuntimeError> {
+    fn read_cstring(&mut self, mut addr: u64) -> Result<String, RuntimeError> {
         let mut out = String::new();
         for _ in 0..1_000_000 {
             let v = self.load(addr)?;
@@ -1261,7 +1308,7 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn format(&self, fmt: &str, args: &[Value]) -> Result<String, RuntimeError> {
+    fn format(&mut self, fmt: &str, args: &[Value]) -> Result<String, RuntimeError> {
         let mut out = String::new();
         let mut chars = fmt.chars().peekable();
         let mut next = 0usize;

@@ -12,7 +12,7 @@
 //! function pointers, global array traffic, `getchar` consuming a
 //! random input, and string builtins.
 
-use profiler::{run, run_ast, RunConfig};
+use profiler::{run, run_ast, run_ast_traced, run_traced, RunConfig};
 use proptest::test_runner::ProptestConfig;
 use proptest::{proptest, Strategy, TestRng};
 
@@ -198,6 +198,39 @@ proptest! {
             }
             (Err(v), Err(a)) => assert_eq!(v, a, "error kind diverged"),
             (v, a) => panic!("outcome diverged: vm={v:?} ast={a:?}"),
+        }
+    }
+
+    /// Reuse-trace oracle: the VM's traced run and the AST walker's
+    /// traced run must produce bit-identical reuse histograms (both
+    /// observe only data-segment traffic, which the two engines issue
+    /// in the same order), and turning tracing on must change no
+    /// frequency-profile counter relative to the untraced run.
+    #[test]
+    fn reuse_trace_matches_ast_walker(case in ProgramGen) {
+        let program = compile(&case.src);
+        let config = RunConfig {
+            max_steps: 100_000,
+            max_call_depth: 64,
+            ..RunConfig::with_input(case.input.as_bytes().to_vec())
+        };
+        let plain = run(&program, &config);
+        let vm = run_traced(&program, &config);
+        let ast = run_ast_traced(&program, &config);
+        match (vm, ast) {
+            (Ok((vo, vt)), Ok((ao, at))) => {
+                assert_eq!(vt, at, "reuse trace diverged");
+                assert_eq!(vo.profile, ao.profile, "traced profile diverged");
+                let p = plain.expect("untraced run must agree on success");
+                assert_eq!(vo.profile, p.profile, "tracing changed the profile");
+                assert_eq!(vo.steps, p.steps, "tracing changed the step count");
+                assert_eq!(vo.stdout(), p.stdout(), "tracing changed the output");
+            }
+            (Err(v), Err(a)) => {
+                assert_eq!(v, a, "traced error kind diverged");
+                assert_eq!(v, plain.expect_err("untraced run must agree on failure"));
+            }
+            (v, a) => panic!("traced outcome diverged: vm={v:?} ast={a:?}"),
         }
     }
 

@@ -1,6 +1,6 @@
 //! The differential fuzzer as a property test.
 //!
-//! Every generated program must pass all six oracles (round trip,
+//! Every generated program must pass all seven oracles (round trip,
 //! VM vs AST walker, sparse vs dense solver, profile invariants,
 //! estimator sanity). The vendored `proptest` stub has no shrinking, so
 //! on failure this test runs the fuzzer's own IR-level minimizer and

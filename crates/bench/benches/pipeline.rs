@@ -16,7 +16,12 @@
 //! inside a 905 ms wall run was parallel CPU time, not a timing bug.
 //! The `opt_*` keys measure the `-O3` optimizing backend on compress:
 //! optimization cost, measured VM steps before/after, and per-pass
-//! work counters.
+//! work counters. Rows with `opt_schema: "opt/v2"` additionally carry
+//! `opt_pass_steps` — cumulative measured VM steps after each
+//! pipeline stage (inline, fold, dce, fuse, mine, layout), so the
+//! delta between consecutive stages attributes the saved steps to
+//! exactly one pass — plus the `opt_dce_ops` and `opt_mined` work
+//! counters.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use estimators::eval;
@@ -81,6 +86,9 @@ struct OptPass {
     steps_before: u64,
     steps_after: u64,
     stats: opt::OptStats,
+    /// Cumulative VM steps after each pipeline stage (`opt/v2`): the
+    /// delta between consecutive entries is that pass's contribution.
+    pass_steps: Vec<(&'static str, u64)>,
 }
 
 /// The optimizer row: compress at `-O3`, full budget, static-estimate
@@ -102,11 +110,24 @@ fn optimizer_pass() -> OptPass {
     let config = profiler::RunConfig::with_input(bench_prog.inputs().remove(0));
     let steps_before = cp.execute(&config).expect("compress runs").steps;
     let steps_after = ocp.execute(&config).expect("optimized compress runs").steps;
+    let pass_steps: Vec<(&'static str, u64)> = opt::stage_snapshots(&cp, &plan)
+        .into_iter()
+        .map(|(stage, scp)| {
+            let steps = scp.execute(&config).expect("stage snapshot runs").steps;
+            (stage, steps)
+        })
+        .collect();
+    assert_eq!(
+        pass_steps.last().map(|&(_, s)| s),
+        Some(steps_after),
+        "the final stage snapshot must equal the production pipeline"
+    );
     OptPass {
         optimize_cpu_ms: stage_ms(&m, "opt.optimize"),
         steps_before,
         steps_after,
         stats,
+        pass_steps,
     }
 }
 
@@ -150,11 +171,14 @@ fn write_trajectory() {
           \"pool_workers\": {}, \"pool_threads_env\": \"{}\", \
           \"pool_tasks\": {}, \"pool_steals\": {}, \
           \"metric_weight_matches\": {}, \
+          \"opt_schema\": \"opt/v2\", \
           \"opt_program\": \"compress\", \"opt_level\": 3, \
           \"opt_optimize_cpu_ms\": {:.2}, \
           \"opt_steps_before\": {}, \"opt_steps_after\": {}, \"opt_speedup\": {:.3}, \
           \"opt_inlined_calls\": {}, \"opt_folded\": {}, \
-          \"opt_dce_blocks\": {}, \"opt_fused\": {}}}",
+          \"opt_dce_blocks\": {}, \"opt_dce_ops\": {}, \
+          \"opt_fused\": {}, \"opt_mined\": {}, \
+          \"opt_pass_steps\": {{{}}}}}",
         stage_ms(&m, "minic.compile"),
         stage_ms(&m, "flowgraph.build"),
         stage_ms(&m, "linsolve.solve"),
@@ -183,7 +207,14 @@ fn write_trajectory() {
         o.stats.inlined_calls,
         o.stats.folded,
         o.stats.dce_blocks,
+        o.stats.dce_ops,
         o.stats.fused,
+        o.stats.mined,
+        o.pass_steps
+            .iter()
+            .map(|(stage, steps)| format!("\"{stage}\": {steps}"))
+            .collect::<Vec<_>>()
+            .join(", "),
     );
     println!("pipeline/record_json: {entry}");
 

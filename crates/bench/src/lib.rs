@@ -947,6 +947,26 @@ pub fn averages<const N: usize>(rows: &[(&'static str, [f64; N])]) -> [f64; N] {
 mod tests {
     use super::*;
 
+    /// Developer tool, not a check: dumps the frequency-weighted op
+    /// digrams the superinstruction miner ranks, for the Fig 10
+    /// programs under their static plans. Run with
+    /// `cargo test -p bench --release digram_dump -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "diagnostic dump for mined-superinstruction selection"]
+    fn digram_dump() {
+        for name in FIG10_PROGRAMS {
+            let bench = suite::by_name(name).expect("suite program");
+            let program = bench.compile().expect("compiles");
+            let cp = profiler::compile(&program);
+            let st = estimators::ranking::StaticRanking::new(&program);
+            let plan = plan_from_ranking(&st, &cp, 3, cp.funcs.len());
+            println!("== {name}");
+            for (pair, w) in opt::digram_stats(&cp, &plan).into_iter().take(20) {
+                println!("  {w:>14.0}  {pair}");
+            }
+        }
+    }
+
     #[test]
     fn table2_matches_the_paper() {
         let t = table2();
@@ -1016,7 +1036,8 @@ mod tests {
     fn fig10_measured_smoke() {
         // The CI smoke: compress at three budget points. Static-ranked
         // speedup must land within 10% of profile-ranked at every
-        // point, and the full budget must clear the 1.25x bar.
+        // point, and the full budget must clear the 1.90x bar
+        // (measured 1.96x; ~3% margin for op-stream jitter).
         let p = fig10_measured_one("compress", &[0, 4, 16]);
         let curve = |name: &str| {
             &p.curves
@@ -1033,8 +1054,8 @@ mod tests {
             assert!(s / p > 0.90, "static {s:.3} vs profile {p:.3}");
         }
         assert!(
-            st[2] >= 1.25,
-            "full-budget compress speedup {:.3} below 1.25x",
+            st[2] >= 1.90,
+            "full-budget compress speedup {:.3} below 1.90x",
             st[2]
         );
         // Full budget optimizes every function: the rankings agree.

@@ -155,7 +155,7 @@ fn dispatch(args: &[String], cache_dir: Option<&str>, no_cache: bool, opt_level:
         return reuse_cmd(args.get(1).map(String::as_str), cache_dir, no_cache);
     }
     if args.first().map(String::as_str) == Some("fig10") {
-        return fig10_report(args.get(1).map(String::as_str));
+        return fig10_report(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("corpus") {
         return corpus_report(&args[1..], cache_dir);
@@ -679,10 +679,23 @@ fn reuse_eval(
     Some(score)
 }
 
-/// `sfe fig10 [program]`: the measured Figure 10 experiment — optimize
-/// the top-k functions under each ranking provider and report the VM
-/// steps actually saved on a held-out input.
-fn fig10_report(which: Option<&str>) -> ExitCode {
+/// `sfe fig10 [--json] [program]`: the measured Figure 10 experiment —
+/// optimize the top-k functions under each ranking provider and report
+/// the VM steps actually saved on a held-out input. `--json` swaps the
+/// table for one machine-readable document (schema `fig10/v1`).
+fn fig10_report(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut which: Option<&str> = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            name if which.is_none() && !name.starts_with('-') => which = Some(name),
+            other => {
+                eprintln!("sfe: fig10 does not understand `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let names: Vec<&'static str> = match which {
         None => bench::FIG10_PROGRAMS.to_vec(),
         Some(name) => match bench::FIG10_PROGRAMS.iter().find(|&&p| p == name) {
@@ -696,6 +709,9 @@ fn fig10_report(which: Option<&str>) -> ExitCode {
             }
         },
     };
+    if json {
+        return fig10_json(&names);
+    }
     println!("Figure 10 (measured): speedup vs optimization budget, -O3, held-out input");
     for name in names {
         let n = suite::by_name(name)
@@ -734,6 +750,64 @@ fn fig10_report(which: Option<&str>) -> ExitCode {
             p.static_order[..p.static_order.len().min(6)].join(", ")
         );
     }
+    ExitCode::SUCCESS
+}
+
+/// The machine-readable half of `sfe fig10`: one JSON document with
+/// every requested program's measured curves (schema `fig10/v1`).
+fn fig10_json(names: &[&'static str]) -> ExitCode {
+    use obs::json::Value;
+    let obj = |pairs: Vec<(&str, Value)>| {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let nums = |xs: &[f64]| Value::Arr(xs.iter().map(|&v| Value::Num(v)).collect());
+    let programs: Vec<Value> = names
+        .iter()
+        .map(|&name| {
+            let n = suite::by_name(name)
+                .expect("fig10 program in suite")
+                .compile()
+                .expect("suite program compiles")
+                .defined_ids()
+                .len();
+            let ks: Vec<usize> = (0..=6).chain([n]).collect();
+            let p = bench::fig10_measured_one(name, &ks);
+            let curves: Vec<Value> = p
+                .curves
+                .iter()
+                .map(|c| {
+                    obj(vec![
+                        ("ranking", Value::Str(c.ranking.to_string())),
+                        ("speedups", nums(&c.speedups)),
+                        ("wall_ms", nums(&c.wall_ms)),
+                    ])
+                })
+                .collect();
+            obj(vec![
+                ("baseline_steps", Value::Num(p.baseline_steps as f64)),
+                ("curves", Value::Arr(curves)),
+                (
+                    "ks",
+                    Value::Arr(p.ks.iter().map(|&k| Value::Num(k as f64)).collect()),
+                ),
+                ("name", Value::Str(p.name.to_string())),
+                (
+                    "static_order",
+                    Value::Arr(
+                        p.static_order
+                            .iter()
+                            .map(|f| Value::Str(f.clone()))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let doc = obj(vec![
+        ("programs", Value::Arr(programs)),
+        ("schema", Value::Str("fig10/v1".to_string())),
+    ]);
+    println!("{doc}");
     ExitCode::SUCCESS
 }
 

@@ -587,19 +587,62 @@ fn solver_agreement(program: &Program) -> Result<(), Failure> {
 // Oracle 6: optimizer equivalence
 // ---------------------------------------------------------------------
 
-/// Optimizes at `-O3` with every function budgeted (the most
-/// aggressive configuration the pipeline supports) and demands
-/// byte-identical behavior. Count counters are compared individually;
-/// `steps` and `func_cost` are the optimizer's outputs and are
-/// intentionally excluded.
+/// Optimizes under two plans and demands byte-identical behavior from
+/// each: the full `-O3` everything-budgeted configuration (the most
+/// aggressive the pipeline supports), and a randomized plan — level,
+/// per-function budget membership, inline budget, and block/site heat
+/// all drawn from an RNG seeded by the program's IR fingerprint — so
+/// partial-budget and skewed-heat decision paths are differentially
+/// tested too. Count counters are compared individually; `steps` and
+/// `func_cost` are the optimizer's outputs and are intentionally
+/// excluded.
 fn optimizer_equivalence(
     program: &Program,
     vm: &RunOutcome,
     run_config: &RunConfig,
 ) -> Result<(), Failure> {
     let cp = profiler::compile(program);
-    let plan = opt::OptPlan::full(&cp, 3);
-    let (ocp, _stats) = opt::optimize(&cp, &plan);
+    let full = opt::OptPlan::full(&cp, 3);
+    let randomized = random_plan(&cp);
+    for (label, plan) in [("full -O3", &full), ("randomized", &randomized)] {
+        plan_equivalence(&cp, plan, vm, run_config)
+            .map_err(|f| Failure::new(f.kind, format!("{label} plan: {}", f.detail)))?;
+    }
+    Ok(())
+}
+
+/// A plan with every knob drawn from a deterministic RNG: random opt
+/// level, a random subset of functions budgeted, a random slice of
+/// the default inline budget, and random (even nonsensical: wrong
+/// lengths, zero, skewed) heat vectors. Heat and budgets only steer
+/// *which* transforms run — any draw must preserve behavior.
+fn random_plan(cp: &profiler::bytecode::CompiledProgram) -> opt::OptPlan {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(cp.ir_fingerprint() as u64);
+    let mut plan = opt::OptPlan::full(cp, rng.gen_range(1..=3u8));
+    for b in plan.budgeted.iter_mut() {
+        *b = *b && rng.gen_bool(0.7);
+    }
+    plan.inline_budget = rng.gen_range(0..=opt::default_inline_budget(cp).max(1));
+    for freqs in plan.block_freqs.iter_mut() {
+        let n = rng.gen_range(0..=8usize);
+        *freqs = (0..n).map(|_| rng.gen_range(0..1_000u64) as f64).collect();
+    }
+    for s in plan.site_freqs.iter_mut() {
+        *s = rng.gen_range(0..1_000u64) as f64;
+    }
+    plan
+}
+
+/// One plan's half of oracle 6.
+fn plan_equivalence(
+    cp: &profiler::bytecode::CompiledProgram,
+    plan: &opt::OptPlan,
+    vm: &RunOutcome,
+    run_config: &RunConfig,
+) -> Result<(), Failure> {
+    let (ocp, _stats) = opt::optimize(cp, plan);
     // Recosting changes the step count, so a run near the limit could
     // cross it in either direction; 4x headroom keeps the oracle about
     // semantics (the unoptimized run completed well under the limit).

@@ -12,10 +12,11 @@
 //! *count* profile counter stays byte-identical; only `CALL_COST`
 //! attribution (`func_cost`) and step accounting change.
 //!
-//! Candidates are restricted to callees that never materialize a
-//! frame address (`LeaLocal` and friends): their locals are only ever
-//! touched via direct slot ops, so merging their frame into the
-//! caller's cannot change what any runtime pointer observes.
+//! Candidates may materialize frame addresses (`LeaLocal` and
+//! friends) as long as the [`crate::alias`] analysis proves those
+//! addresses stay contained in the activation: dereferences relocate
+//! together with the frame, so merging it into the caller's cannot
+//! change what any runtime pointer observes.
 
 use crate::ir::{lift, CallSite, FuncIr};
 use crate::ops_info;
@@ -38,18 +39,11 @@ fn reject(cp: &CompiledProgram, caller: usize, site: &CallSite) -> bool {
     {
         return true;
     }
-    // No frame addresses: a callee that takes the address of a local
-    // (directly or through a local-array op) must keep its own frame,
-    // or pointer aliasing could observe the merged layout.
-    cp.ops[start as usize..end as usize].iter().any(|op| {
-        matches!(
-            op,
-            Op::LeaLocal { .. }
-                | Op::IndexAddrLeaL { .. }
-                | Op::LoadIdxLeaL { .. }
-                | Op::InitWordsLocal { .. }
-        )
-    })
+    // Address-taken locals are fine as long as the alias analysis
+    // proves every materialized frame address stays contained in the
+    // activation: the splice relocates the frame, so an escaping or
+    // numerically-observed address could diverge.
+    !crate::alias::frame_contained(&cp.ops[start as usize..end as usize])
 }
 
 /// The result of one successful splice, for call-site fixups.
@@ -58,6 +52,9 @@ pub struct Spliced {
     pub post_chunk: u32,
     /// Ops added to the caller (code growth).
     pub growth: u32,
+    /// The callee body's own call sites, now in caller coordinates —
+    /// candidates for further (multi-level) inlining.
+    pub new_sites: Vec<CallSite>,
 }
 
 /// Conservative pre-splice growth estimate, for budget checks.
@@ -92,7 +89,18 @@ pub fn can_inline(cp: &CompiledProgram, ir: &FuncIr, site: &CallSite) -> bool {
 
 /// Splices `site`'s callee into the caller. The caller must have
 /// checked [`can_inline`] first.
-pub fn inline_site(ir: &mut FuncIr, cp: &CompiledProgram, site: &CallSite) -> Spliced {
+///
+/// `callee_freqs` are the callee's whole-run per-block frequencies
+/// (empty when unknown): the spliced chunks inherit the callee's
+/// *shape* of heat, rescaled so the entry matches the calling chunk's
+/// frequency — downstream fusion and layout then see this instance's
+/// share rather than the callee's all-callers total.
+pub fn inline_site(
+    ir: &mut FuncIr,
+    cp: &CompiledProgram,
+    site: &CallSite,
+    callee_freqs: &[f64],
+) -> Spliced {
     let Op::CallDirect { dst: rb, nargs, .. } =
         ir.chunks[site.chunk as usize].ops[site.idx as usize]
     else {
@@ -104,11 +112,30 @@ pub fn inline_site(ir: &mut FuncIr, cp: &CompiledProgram, site: &CallSite) -> Sp
     ir.frame_size += callee.frame_size;
     ir.max_regs = ir.max_regs.max(rb as u32 + callee.max_regs);
 
-    let body = lift(cp, callee_fid, &[]);
+    let mut body = lift(cp, callee_fid, callee_freqs);
     let base = ir.chunks.len() as u32;
     let table_base = ir.tables.len() as u32;
     let post_chunk = base + body.chunks.len() as u32;
     let site_freq = ir.chunks[site.chunk as usize].freq;
+    let entry_freq = body.chunks[body.entry as usize].freq;
+    if callee_freqs.is_empty() || entry_freq <= 0.0 {
+        for chunk in &mut body.chunks {
+            chunk.freq = site_freq;
+        }
+    } else {
+        let scale = site_freq / entry_freq;
+        for chunk in &mut body.chunks {
+            chunk.freq *= scale;
+        }
+    }
+    let new_sites = body
+        .call_sites
+        .iter()
+        .map(|s| CallSite {
+            chunk: s.chunk + base,
+            ..*s
+        })
+        .collect();
     let mut growth = 0u32;
 
     // Split the calling chunk: the continuation becomes its own chunk.
@@ -207,7 +234,11 @@ pub fn inline_site(ir: &mut FuncIr, cp: &CompiledProgram, site: &CallSite) -> Sp
     ir.order
         .splice(pos + 1..pos + 1, (base..=post_chunk).collect::<Vec<_>>());
 
-    Spliced { post_chunk, growth }
+    Spliced {
+        post_chunk,
+        growth,
+        new_sites,
+    }
 }
 
 fn retarget(table: &mut SwitchTable, base: u32) {

@@ -48,7 +48,7 @@ pub struct CallSite {
 }
 
 /// One function lifted to chunks.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FuncIr {
     /// The function's id.
     pub fid: usize,
@@ -240,13 +240,18 @@ pub fn drop_redundant_jumps(ir: &mut FuncIr) {
 
 /// Lowers the whole program back to a flat op stream. `irs` holds the
 /// transformed IR for budgeted functions (`None` entries are copied
-/// verbatim, relocated).
-pub fn lower(cp: &CompiledProgram, irs: &[Option<FuncIr>]) -> CompiledProgram {
+/// verbatim, relocated). `order` is the emission order of function
+/// bodies in the flat stream — cross-function hot packing clusters
+/// hot bodies together; the `funcs` table stays `FuncId`-indexed and
+/// every body stays contiguous, so jump closure is preserved.
+pub fn lower(cp: &CompiledProgram, irs: &[Option<FuncIr>], order: &[usize]) -> CompiledProgram {
+    debug_assert_eq!(order.len(), cp.funcs.len());
     let mut ops = Vec::with_capacity(cp.ops.len());
     let mut switch_tables = Vec::with_capacity(cp.switch_tables.len());
-    let mut funcs = Vec::with_capacity(cp.funcs.len());
+    let mut funcs: Vec<Option<FuncMeta>> = vec![None; cp.funcs.len()];
 
-    for (fid, meta) in cp.funcs.iter().enumerate() {
+    for &fid in order {
+        let meta = &cp.funcs[fid];
         let new_start = ops.len() as u32;
         let (start, end) = meta.code;
         match &irs[fid] {
@@ -264,7 +269,7 @@ pub fn lower(cp: &CompiledProgram, irs: &[Option<FuncIr>]) -> CompiledProgram {
                     }
                     ops.push(op);
                 }
-                funcs.push(FuncMeta {
+                funcs[fid] = Some(FuncMeta {
                     entry: if meta.entry == NONE32 {
                         NONE32
                     } else {
@@ -304,7 +309,7 @@ pub fn lower(cp: &CompiledProgram, irs: &[Option<FuncIr>]) -> CompiledProgram {
                         ops.push(op);
                     }
                 }
-                funcs.push(FuncMeta {
+                funcs[fid] = Some(FuncMeta {
                     entry: chunk_pc[ir.entry as usize],
                     code: (new_start, ops.len() as u32),
                     // Optimized functions are not re-liftable; the
@@ -320,7 +325,10 @@ pub fn lower(cp: &CompiledProgram, irs: &[Option<FuncIr>]) -> CompiledProgram {
 
     CompiledProgram {
         ops,
-        funcs,
+        funcs: funcs
+            .into_iter()
+            .map(|f| f.expect("every function emitted exactly once"))
+            .collect(),
         switch_tables,
         main: cp.main,
         images: cp.images.clone(),

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alias;
 pub mod inline;
 pub mod ir;
 pub mod ops_info;
@@ -32,7 +33,9 @@ use profiler::bytecode::{CompiledProgram, NONE32};
 
 /// Version of the pass pipeline, part of every optimized-artifact
 /// cache key: bump when a pass changes observable shape or costs.
-pub const PASS_PIPELINE_VERSION: u32 = 1;
+/// Version 2: alias-admitted inlining, multi-level inlining, mined
+/// superinstructions, cross-function hot packing.
+pub const PASS_PIPELINE_VERSION: u32 = 2;
 
 /// What to optimize and how hard — produced by a ranking provider
 /// (static estimates, measured profiles, or the held-out oracle).
@@ -85,8 +88,11 @@ pub struct OptStats {
     pub dce_blocks: u64,
     /// Dead register writes deleted.
     pub dce_ops: u64,
-    /// Superinstruction pairs fused.
+    /// Superinstruction pairs fused (emitter-pair patterns).
     pub fused: u64,
+    /// Mined superinstruction pairs fused (frequency-harvested
+    /// digram patterns).
+    pub mined: u64,
 }
 
 /// Optimizes `cp` according to `plan`, returning the rewritten
@@ -94,6 +100,28 @@ pub struct OptStats {
 /// level 0 (or an empty budget) the result is a verbatim clone.
 pub fn optimize(cp: &CompiledProgram, plan: &OptPlan) -> (CompiledProgram, OptStats) {
     let _sp = obs::span("opt.optimize");
+    let Some((mut irs, stats)) = run_passes(cp, plan) else {
+        return (cp.clone(), OptStats::default());
+    };
+    for f_ir in irs.iter_mut().flatten() {
+        passes::recost(f_ir);
+    }
+    let out = ir::lower(cp, &irs, &pack_order(cp, plan));
+
+    if obs::enabled() {
+        obs::counter_add("opt.inlined_calls", stats.inlined_calls);
+        obs::counter_add("opt.folded", stats.folded);
+        obs::counter_add("opt.dce_blocks", stats.dce_blocks);
+        obs::counter_add("opt.dce_ops", stats.dce_ops);
+        obs::counter_add("opt.fused", stats.fused);
+        obs::counter_add("opt.mined", stats.mined);
+    }
+    (out, stats)
+}
+
+/// Lift + scalar passes up to layout (everything except recost and
+/// lowering). `None` means the plan is an identity transform.
+fn run_passes(cp: &CompiledProgram, plan: &OptPlan) -> Option<(Vec<Option<ir::FuncIr>>, OptStats)> {
     let mut stats = OptStats::default();
     let budgeted = |f: usize| {
         plan.level >= 1
@@ -102,7 +130,7 @@ pub fn optimize(cp: &CompiledProgram, plan: &OptPlan) -> (CompiledProgram, OptSt
             && cp.funcs[f].code.1 > cp.funcs[f].code.0
     };
     if plan.level == 0 || !(0..cp.funcs.len()).any(budgeted) {
-        return (cp.clone(), stats);
+        return None;
     }
 
     let mut irs: Vec<Option<ir::FuncIr>> = (0..cp.funcs.len())
@@ -124,22 +152,142 @@ pub fn optimize(cp: &CompiledProgram, plan: &OptPlan) -> (CompiledProgram, OptSt
         stats.dce_ops += ops;
         if plan.level >= 2 {
             stats.fused += passes::fuse(f_ir);
+            stats.mined += passes::mine(f_ir);
             passes::layout(f_ir);
         } else {
             ir::drop_redundant_jumps(f_ir);
         }
-        passes::recost(f_ir);
     }
-    let out = ir::lower(cp, &irs);
+    Some((irs, stats))
+}
 
-    if obs::enabled() {
-        obs::counter_add("opt.inlined_calls", stats.inlined_calls);
-        obs::counter_add("opt.folded", stats.folded);
-        obs::counter_add("opt.dce_blocks", stats.dce_blocks);
-        obs::counter_add("opt.dce_ops", stats.dce_ops);
-        obs::counter_add("opt.fused", stats.fused);
+/// Lowered, executable snapshots after each pipeline stage, for
+/// per-pass step attribution (the bench trajectory's `opt/v2` rows).
+///
+/// Stages are applied cumulatively — each snapshot includes every
+/// stage before it — and run stage-wise across all budgeted functions
+/// rather than function-wise; since the scalar passes never look
+/// across function boundaries (inlining has already happened), the
+/// final snapshot is identical to [`optimize`]'s output. Stages the
+/// plan's level disables are simply absent. Every snapshot is
+/// recosted, so step deltas between consecutive snapshots attribute
+/// saved VM steps to exactly one pass.
+pub fn stage_snapshots(
+    cp: &CompiledProgram,
+    plan: &OptPlan,
+) -> Vec<(&'static str, CompiledProgram)> {
+    let budgeted = |f: usize| {
+        plan.level >= 1
+            && plan.budgeted.get(f).copied().unwrap_or(false)
+            && cp.funcs[f].entry != NONE32
+            && cp.funcs[f].code.1 > cp.funcs[f].code.0
+    };
+    if plan.level == 0 || !(0..cp.funcs.len()).any(budgeted) {
+        return Vec::new();
     }
-    (out, stats)
+    let mut irs: Vec<Option<ir::FuncIr>> = (0..cp.funcs.len())
+        .map(|f| {
+            budgeted(f).then(|| {
+                let freqs = plan.block_freqs.get(f).map(Vec::as_slice).unwrap_or(&[]);
+                ir::lift(cp, f, freqs)
+            })
+        })
+        .collect();
+    let identity: Vec<usize> = (0..cp.funcs.len()).collect();
+    let snap = |irs: &[Option<ir::FuncIr>], order: &[usize]| {
+        let mut copy: Vec<Option<ir::FuncIr>> = irs.to_vec();
+        for f_ir in copy.iter_mut().flatten() {
+            passes::recost(f_ir);
+        }
+        ir::lower(cp, &copy, order)
+    };
+
+    let mut out = Vec::new();
+    if plan.level >= 3 {
+        run_inliner(cp, plan, &mut irs);
+        out.push(("inline", snap(&irs, &identity)));
+    }
+    for f_ir in irs.iter_mut().flatten() {
+        passes::fold(f_ir, cp);
+    }
+    out.push(("fold", snap(&irs, &identity)));
+    for f_ir in irs.iter_mut().flatten() {
+        passes::dce(f_ir);
+    }
+    out.push(("dce", snap(&irs, &identity)));
+    if plan.level >= 2 {
+        for f_ir in irs.iter_mut().flatten() {
+            passes::fuse(f_ir);
+        }
+        out.push(("fuse", snap(&irs, &identity)));
+        for f_ir in irs.iter_mut().flatten() {
+            passes::mine(f_ir);
+        }
+        out.push(("mine", snap(&irs, &identity)));
+        for f_ir in irs.iter_mut().flatten() {
+            passes::layout(f_ir);
+        }
+        out.push(("layout", snap(&irs, &pack_order(cp, plan))));
+    } else {
+        for f_ir in irs.iter_mut().flatten() {
+            ir::drop_redundant_jumps(f_ir);
+        }
+        out.push(("layout", snap(&irs, &identity)));
+    }
+    out
+}
+
+/// Function emission order for cross-function hot packing: bodies of
+/// hot functions cluster at the front of the flat op stream (bytecode
+/// locality; `FuncId` indexing is unaffected). Heat is the plan's
+/// whole-run block-frequency mass; functions without frequency
+/// information keep their relative program order at the back.
+fn pack_order(cp: &CompiledProgram, plan: &OptPlan) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cp.funcs.len()).collect();
+    if plan.level < 2 {
+        return order;
+    }
+    let heat = |f: usize| -> f64 {
+        plan.block_freqs
+            .get(f)
+            .map(|b| b.iter().sum())
+            .unwrap_or(0.0)
+    };
+    order.sort_by(|&a, &b| heat(b).total_cmp(&heat(a)).then(a.cmp(&b)));
+    order
+}
+
+/// Frequency-weighted adjacent-op digram statistics over the
+/// post-pass IR (pre-recost), aggregated across budgeted functions —
+/// the data the superinstruction miner ranks, exposed for reports.
+/// Keys are `"A+B"` variant-name pairs, hottest first.
+pub fn digram_stats(cp: &CompiledProgram, plan: &OptPlan) -> Vec<(String, f64)> {
+    use std::collections::HashMap;
+    let Some((irs, _)) = run_passes(cp, plan) else {
+        return Vec::new();
+    };
+    let mut acc: HashMap<String, f64> = HashMap::new();
+    for f_ir in irs.iter().flatten() {
+        for chunk in f_ir.chunks.iter().filter(|c| !c.dead) {
+            for w in chunk.ops.windows(2) {
+                if ops_info::is_zero_cost(&w[0]) || ops_info::is_zero_cost(&w[1]) {
+                    continue;
+                }
+                let name = |op: &profiler::bytecode::Op| {
+                    let full = format!("{op:?}");
+                    full.split([' ', '{', '('])
+                        .next()
+                        .unwrap_or_default()
+                        .to_string()
+                };
+                *acc.entry(format!("{}+{}", name(&w[0]), name(&w[1])))
+                    .or_default() += chunk.freq;
+            }
+        }
+    }
+    let mut out: Vec<(String, f64)> = acc.into_iter().collect();
+    out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
 }
 
 /// Lift + lower with no passes: the optimizer's machinery shakedown.
@@ -153,43 +301,75 @@ pub fn roundtrip(cp: &CompiledProgram) -> CompiledProgram {
             (meta.entry != NONE32 && meta.code.1 > meta.code.0).then(|| ir::lift(cp, f, &[]))
         })
         .collect();
-    ir::lower(cp, &irs)
+    ir::lower(cp, &irs, &(0..cp.funcs.len()).collect::<Vec<_>>())
 }
 
+/// Depth bound for multi-level inlining: call sites exposed by a
+/// splice can themselves be inlined, at most this many levels deep.
+const MAX_INLINE_DEPTH: usize = 4;
+
 /// Global hottest-first inlining over every budgeted function, bounded
-/// by the plan's code-growth budget.
+/// by the plan's code-growth budget, iterated to a fixed point: every
+/// splice re-enters the callee body's own call sites as candidates
+/// (with frequencies rescaled to this instance's share), so hot call
+/// chains collapse level by level until the budget runs out or no
+/// admissible site remains. An ancestor-chain check plus the depth
+/// bound keeps (mutual) recursion from cycling; the monotonically
+/// shrinking budget guarantees termination regardless.
 fn run_inliner(cp: &CompiledProgram, plan: &OptPlan, irs: &mut [Option<ir::FuncIr>]) -> u64 {
-    // Collect candidates across functions with their site frequencies.
     struct Cand {
         fid: usize,
         site: ir::CallSite,
         freq: f64,
+        /// Callee fids of the splices that exposed this site —
+        /// inlining a callee already on the chain would cycle.
+        path: Vec<u32>,
+        done: bool,
     }
+    let site_freq = |site: &ir::CallSite| {
+        if site.site == NONE32 {
+            0.0
+        } else {
+            plan.site_freqs
+                .get(site.site as usize)
+                .copied()
+                .unwrap_or(0.0)
+        }
+    };
     let mut cands = Vec::new();
     for (fid, f_ir) in irs.iter().enumerate() {
         let Some(f_ir) = f_ir else { continue };
         for site in &f_ir.call_sites {
-            let freq = if site.site == NONE32 {
-                0.0
-            } else {
-                plan.site_freqs
-                    .get(site.site as usize)
-                    .copied()
-                    .unwrap_or(0.0)
-            };
             cands.push(Cand {
                 fid,
                 site: *site,
-                freq,
+                freq: site_freq(site),
+                path: Vec::new(),
+                done: false,
             });
         }
     }
-    cands.sort_by(|a, b| b.freq.total_cmp(&a.freq));
 
     let mut budget = plan.inline_budget as i64;
     let mut inlined = 0;
-    for i in 0..cands.len() {
-        let Cand { fid, site, .. } = cands[i];
+    // Hottest remaining site first, across rounds: freshly exposed
+    // sites compete with the original ones on equal footing.
+    while let Some(i) = {
+        // First among equals, so zero-frequency plans (no profile
+        // information) fall back to stable program order.
+        let mut best: Option<usize> = None;
+        for (j, c) in cands.iter().enumerate() {
+            if !c.done && best.is_none_or(|b| c.freq > cands[b].freq) {
+                best = Some(j);
+            }
+        }
+        best
+    } {
+        cands[i].done = true;
+        let (fid, site) = (cands[i].fid, cands[i].site);
+        if cands[i].path.len() >= MAX_INLINE_DEPTH || cands[i].path.contains(&site.callee) {
+            continue;
+        }
         let f_ir = irs[fid].as_mut().expect("candidate from a budgeted fn");
         if !inline::can_inline(cp, f_ir, &site) {
             continue;
@@ -197,16 +377,35 @@ fn run_inliner(cp: &CompiledProgram, plan: &OptPlan, irs: &mut [Option<ir::FuncI
         if inline::growth_estimate(cp, &site) as i64 > budget {
             continue;
         }
-        let spliced = inline::inline_site(f_ir, cp, &site);
+        let callee_freqs = plan
+            .block_freqs
+            .get(site.callee as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        let spliced = inline::inline_site(f_ir, cp, &site, callee_freqs);
         budget -= spliced.growth as i64;
         inlined += 1;
-        // Later candidates in the same chunk moved into the
-        // continuation chunk; retarget their coordinates.
-        for later in cands[i + 1..].iter_mut() {
+        // Candidates in the calling chunk after the call moved into
+        // the continuation chunk; retarget their coordinates.
+        for later in cands.iter_mut().filter(|c| !c.done) {
             if later.fid == fid && later.site.chunk == site.chunk && later.site.idx > site.idx {
                 later.site.chunk = spliced.post_chunk;
                 later.site.idx -= site.idx + 1;
             }
+        }
+        // The spliced body's call sites become candidates one level
+        // deeper, ranked by the heat of the chunk they landed in.
+        let mut path = cands[i].path.clone();
+        path.push(site.callee);
+        let f_ir = irs[fid].as_ref().expect("just spliced into it");
+        for s in spliced.new_sites {
+            cands.push(Cand {
+                fid,
+                site: s,
+                freq: site_freq(&s).min(f_ir.chunks[s.chunk as usize].freq),
+                path: path.clone(),
+                done: false,
+            });
         }
     }
     inlined

@@ -203,6 +203,29 @@ pub fn reg_uses(op: &Op) -> RegUses {
             u.read_range = Some((argbase, nargs));
             u.writes.push(dst);
         }
+        Op::ConstRet { .. } => {}
+        Op::ConstJump { dst, .. }
+        | Op::IncDecLEdge { dst, .. }
+        | Op::LoadLBranch { dst, .. }
+        | Op::ArithGI { dst, .. } => {
+            u.writes.push(dst);
+        }
+        Op::StoreLEdge { src, .. } => {
+            u.reads.push(src);
+            u.writes.push(src);
+        }
+        Op::CmpBranchRCI { a, dst, .. } => {
+            u.reads.push(a);
+            u.writes.push(dst);
+        }
+        Op::ArithRLJumpF { dst, .. } => {
+            u.reads.push(dst);
+            u.writes.push(dst);
+        }
+        Op::LoadIdxLR { dst, idx, .. } => {
+            u.reads.push(idx);
+            u.writes.push(dst);
+        }
     }
     u
 }
@@ -221,6 +244,13 @@ pub fn for_each_target(op: &mut Op, mut f: impl FnMut(&mut u32)) {
         | Op::CmpBranchRR { else_target, .. }
         | Op::CmpBranchRL { else_target, .. }
         | Op::CmpBranchRI { else_target, .. } => f(else_target),
+        Op::ConstJump { target, .. }
+        | Op::StoreLEdge { target, .. }
+        | Op::IncDecLEdge { target, .. }
+        | Op::ArithRLJumpF { target, .. } => f(target),
+        Op::LoadLBranch { else_target, .. } | Op::CmpBranchRCI { else_target, .. } => {
+            f(else_target)
+        }
         _ => {}
     }
 }
@@ -242,6 +272,10 @@ pub fn is_terminator(op: &Op) -> bool {
             | Op::EdgeJump { .. }
             | Op::Ret { .. }
             | Op::Fail(_)
+            | Op::ConstJump { .. }
+            | Op::ConstRet { .. }
+            | Op::StoreLEdge { .. }
+            | Op::IncDecLEdge { .. }
     )
 }
 
@@ -280,7 +314,16 @@ pub fn tick_mut(op: &mut Op) -> Option<&mut u32> {
         | Op::CallDirect { tick, .. }
         | Op::CallIndirect { tick, .. }
         | Op::CallBuiltin { tick, .. }
-        | Op::Ret { tick, .. } => Some(tick),
+        | Op::Ret { tick, .. }
+        | Op::ConstJump { tick, .. }
+        | Op::ConstRet { tick, .. }
+        | Op::StoreLEdge { tick, .. }
+        | Op::IncDecLEdge { tick, .. }
+        | Op::LoadLBranch { tick, .. }
+        | Op::ArithGI { tick, .. }
+        | Op::CmpBranchRCI { tick, .. }
+        | Op::ArithRLJumpF { tick, .. }
+        | Op::LoadIdxLR { tick, .. } => Some(tick),
         _ => None,
     }
 }
@@ -308,6 +351,8 @@ pub fn clobbers_frame(op: &Op) -> bool {
             | Op::CallDirect { .. }
             | Op::CallIndirect { .. }
             | Op::CallBuiltin { .. }
+            | Op::StoreLEdge { .. }
+            | Op::IncDecLEdge { .. }
     )
 }
 
@@ -397,6 +442,21 @@ pub fn rebase_regs(op: &mut Op, rb: u16) {
             *b += rb;
         }
         Op::CmpBranchRL { a, .. } | Op::CmpBranchRI { a, .. } => *a += rb,
+        Op::ConstJump { dst, .. }
+        | Op::StoreLEdge { src: dst, .. }
+        | Op::IncDecLEdge { dst, .. }
+        | Op::LoadLBranch { dst, .. }
+        | Op::ArithGI { dst, .. }
+        | Op::ArithRLJumpF { dst, .. } => *dst += rb,
+        Op::CmpBranchRCI { a, dst, .. } => {
+            *a += rb;
+            *dst += rb;
+        }
+        Op::LoadIdxLR { dst, idx, .. } => {
+            *dst += rb;
+            *idx += rb;
+        }
+        Op::ConstRet { .. } => {}
         Op::CallDirect { argbase, dst, .. } | Op::CallBuiltin { argbase, dst, .. } => {
             *argbase += rb;
             *dst += rb;
@@ -476,6 +536,11 @@ pub fn rebase_frame(op: &mut Op, fb: u32) {
             *off += fb;
             *off_b += fb;
         }
+        Op::StoreLEdge { off, .. }
+        | Op::IncDecLEdge { off, .. }
+        | Op::LoadLBranch { off, .. }
+        | Op::ArithRLJumpF { off, .. }
+        | Op::LoadIdxLR { off, .. } => *off += fb,
         _ => {}
     }
 }

@@ -724,6 +724,210 @@ pub fn fuse(ir: &mut FuncIr) -> u64 {
     fused
 }
 
+/// Mined-superinstruction selection: fuses the digram patterns
+/// harvested from estimator frequencies across the benchmark corpus
+/// (see `mined_pair`), as opposed to [`fuse`]'s emitter pairs. Runs
+/// on the same hot-chunk threshold so cold code keeps its shape.
+pub fn mine(ir: &mut FuncIr) -> u64 {
+    let live: Vec<_> = ir.chunks.iter().filter(|c| !c.dead).collect();
+    if live.is_empty() {
+        return 0;
+    }
+    let threshold = live.iter().map(|c| c.freq).sum::<f64>() / live.len() as f64;
+    drop(live);
+    let mut mined = 0;
+    for chunk in ir
+        .chunks
+        .iter_mut()
+        .filter(|c| !c.dead && c.freq >= threshold)
+    {
+        let ops = &mut chunk.ops;
+        let mut i = 0;
+        while i + 1 < ops.len() {
+            if let Some(op) = mined_pair(ops[i], ops[i + 1]) {
+                ops[i] = op;
+                ops.remove(i + 1);
+                mined += 1;
+                i = i.saturating_sub(1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    mined
+}
+
+/// The mined fusion patterns — digrams measured hottest over the
+/// post-pipeline IR of the benchmark suite, weighted by estimator
+/// block frequencies (`opt::digram_stats`). Same safety argument as
+/// [`fuse_pair`]: the fused op writes exactly what the pair wrote.
+fn mined_pair(a: Op, b: Op) -> Option<Op> {
+    match (a, b) {
+        // Address ops always produce `Value::Ptr`, on which `to_ptr`
+        // is the identity — a following same-register `ToPtr` is a
+        // pure dispatch tax and is dropped outright.
+        (
+            Op::IndexAddr { dst, .. }
+            | Op::IndexAddrLL { dst, .. }
+            | Op::IndexAddrPL { dst, .. }
+            | Op::IndexAddrLeaL { dst, .. }
+            | Op::LeaLocal { dst, .. }
+            | Op::MemberAddr { dst, .. },
+            Op::ToPtr { dst: d2, src },
+        ) if src == dst && d2 == dst => Some(a),
+        (
+            Op::Const {
+                dst,
+                v: Value::Int(imm),
+            },
+            Op::Jump { target, tick },
+        ) if i32::try_from(imm).is_ok() => Some(Op::ConstJump {
+            dst,
+            imm: imm as i32,
+            target,
+            tick,
+        }),
+        (
+            Op::Const {
+                dst,
+                v: Value::Int(imm),
+            },
+            Op::Ret { src, tick },
+        ) if src == dst && i32::try_from(imm).is_ok() => Some(Op::ConstRet {
+            imm: imm as i32,
+            tick,
+        }),
+        (
+            Op::StoreLocal {
+                off,
+                src,
+                class,
+                dst,
+            },
+            Op::EdgeJump {
+                edge,
+                block,
+                target,
+                tick,
+            },
+        ) if dst == src => Some(Op::StoreLEdge {
+            off,
+            src,
+            class,
+            edge,
+            block,
+            target,
+            tick,
+        }),
+        (
+            Op::IncDecLocal {
+                dst,
+                off,
+                delta,
+                post: false,
+            },
+            Op::EdgeJump {
+                edge,
+                block,
+                target,
+                tick,
+            },
+        ) if i8::try_from(delta).is_ok() => Some(Op::IncDecLEdge {
+            off,
+            dst,
+            delta: delta as i8,
+            edge,
+            block,
+            target,
+            tick,
+        }),
+        (
+            Op::LoadLocal { dst, off },
+            Op::CondBranch {
+                src,
+                branch,
+                else_target,
+                tick,
+            },
+        ) if src == dst => Some(Op::LoadLBranch {
+            off,
+            dst,
+            branch,
+            else_target,
+            tick,
+        }),
+        (
+            Op::LoadGlobal { dst, idx },
+            Op::ArithRI {
+                dst: d2,
+                imm,
+                mode,
+                tick,
+            },
+        ) if d2 == dst => Some(Op::ArithGI {
+            dst,
+            idx,
+            imm,
+            mode,
+            tick,
+        }),
+        (
+            Op::Const {
+                dst,
+                v: Value::Int(imm),
+            },
+            Op::CmpBranchRR {
+                a,
+                b,
+                op,
+                branch,
+                else_target,
+                tick,
+            },
+        ) if b == dst && i32::try_from(imm).is_ok() => Some(Op::CmpBranchRCI {
+            a,
+            dst,
+            imm: imm as i32,
+            op,
+            branch,
+            else_target,
+            tick,
+        }),
+        (
+            Op::ArithRL {
+                dst,
+                off,
+                mode,
+                tick: _,
+            },
+            Op::JumpIfFalse { src, target, tick },
+        ) if src == dst => Some(Op::ArithRLJumpF {
+            dst,
+            off,
+            mode,
+            target,
+            tick,
+        }),
+        (
+            Op::LoadLocal { dst, off },
+            Op::LoadIdx {
+                dst: d2,
+                base,
+                idx,
+                elem,
+                tick,
+            },
+        ) if base == dst && d2 == dst && idx != dst => Some(Op::LoadIdxLR {
+            dst,
+            off,
+            idx,
+            elem,
+            tick,
+        }),
+        _ => None,
+    }
+}
+
 /// The fusion patterns. Each is safe unconditionally: every register
 /// the pair wrote is written identically by the fused op, and the
 /// intermediate register was immediately overwritten.

@@ -1210,6 +1210,151 @@ impl<'a, T: MemTap> Vm<'a, T> {
                 Op::Fail(i) => {
                     return Err(cp.fails[i as usize].clone().into());
                 }
+
+                // ----- mined superinstructions -----
+                // Each replicates its source pair's effects in order;
+                // only the dispatch (one tick instead of two) differs.
+                Op::ConstJump {
+                    dst,
+                    imm,
+                    target,
+                    tick,
+                } => {
+                    tick!(tick);
+                    self.set_reg(dst, Value::Int(imm as i64));
+                    pc = target as usize;
+                }
+                Op::ConstRet { imm, tick } => {
+                    tick!(tick);
+                    let v = Value::Int(imm as i64);
+                    self.func_cost[self.cur_fn] += cost_acc;
+                    cost_acc = 0;
+                    match self.frames.pop() {
+                        None => {
+                            self.steps = steps;
+                            return Ok(v.to_int());
+                        }
+                        Some(fr) => {
+                            self.stack.truncate(self.fp);
+                            self.depth -= 1;
+                            self.fp = fr.fp;
+                            self.rp = fr.rp;
+                            self.cur_fn = fr.func;
+                            pc = fr.ret_pc;
+                            self.regs[fr.rp + fr.ret_dst as usize] = v;
+                        }
+                    }
+                }
+                Op::StoreLEdge {
+                    off,
+                    src,
+                    class,
+                    edge,
+                    block,
+                    target,
+                    tick,
+                } => {
+                    tick!(tick);
+                    let v = convert_for_class(class, self.reg(src));
+                    self.set_local(off, v);
+                    self.set_reg(src, v);
+                    self.edges[edge as usize] += 1;
+                    self.blocks[block as usize] += 1;
+                    pc = target as usize;
+                }
+                Op::IncDecLEdge {
+                    off,
+                    dst,
+                    delta,
+                    edge,
+                    block,
+                    target,
+                    tick,
+                } => {
+                    tick!(tick);
+                    let new = incdec(self.local(off), delta as i64);
+                    self.set_local(off, new);
+                    self.set_reg(dst, new);
+                    self.edges[edge as usize] += 1;
+                    self.blocks[block as usize] += 1;
+                    pc = target as usize;
+                }
+                Op::LoadLBranch {
+                    off,
+                    dst,
+                    branch,
+                    else_target,
+                    tick,
+                } => {
+                    tick!(tick);
+                    let v = self.local(off);
+                    self.set_reg(dst, v);
+                    let taken = v.truthy();
+                    self.bump_branch(branch, taken);
+                    if !taken {
+                        pc = else_target as usize;
+                    }
+                }
+                Op::ArithGI {
+                    dst,
+                    idx,
+                    imm,
+                    mode,
+                    tick,
+                } => {
+                    tick!(tick);
+                    let g = self.global(idx);
+                    if T::ACTIVE {
+                        self.tap.access(Self::global_addr(idx));
+                    }
+                    let v = arith(mode, g, Value::Int(imm as i64))?;
+                    self.set_reg(dst, v);
+                }
+                Op::CmpBranchRCI {
+                    a,
+                    dst,
+                    imm,
+                    op,
+                    branch,
+                    else_target,
+                    tick,
+                } => {
+                    tick!(tick);
+                    self.set_reg(dst, Value::Int(imm as i64));
+                    let taken = cmp_vals(op, self.reg(a), Value::Int(imm as i64));
+                    self.bump_branch(branch, taken);
+                    if !taken {
+                        pc = else_target as usize;
+                    }
+                }
+                Op::ArithRLJumpF {
+                    dst,
+                    off,
+                    mode,
+                    target,
+                    tick,
+                } => {
+                    tick!(tick);
+                    let b = self.local(off);
+                    let v = arith(mode, self.reg(dst), b)?;
+                    self.set_reg(dst, v);
+                    if !v.truthy() {
+                        pc = target as usize;
+                    }
+                }
+                Op::LoadIdxLR {
+                    dst,
+                    off,
+                    idx,
+                    elem,
+                    tick,
+                } => {
+                    tick!(tick);
+                    let b = self.local(off).to_ptr();
+                    let i = self.reg(idx).to_int();
+                    let v = self.load(b.wrapping_add_signed(i.wrapping_mul(elem as i64)))?;
+                    self.set_reg(dst, v);
+                }
             }
         }
     }

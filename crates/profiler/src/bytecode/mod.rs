@@ -468,6 +468,88 @@ pub enum Op {
     Ret { src: u16, tick: u32 },
     /// Abort the run with `fails[idx]`.
     Fail(u32),
+
+    // ----- mined superinstructions -----
+    // Fused forms of the op digrams measured hottest across the
+    // benchmark suite under estimator block frequencies (the `opt`
+    // crate's miner synthesizes them; the VM emitter never does).
+    // Each charges one dispatch tick where its source pair charged
+    // two, and replicates the pair's counter bumps exactly.
+    /// `Const{dst, Int(imm)}` then `Jump{target}`.
+    ConstJump {
+        dst: u16,
+        imm: i32,
+        target: u32,
+        tick: u32,
+    },
+    /// `Const{src, Int(imm)}` then `Ret{src}` — the register write is
+    /// dead past the return and dropped.
+    ConstRet { imm: i32, tick: u32 },
+    /// `StoreLocal{off, src, class, dst: src}` then `EdgeJump`.
+    StoreLEdge {
+        off: u32,
+        src: u16,
+        class: TyClass,
+        edge: u32,
+        block: u32,
+        target: u32,
+        tick: u32,
+    },
+    /// Pre-increment `IncDecLocal{dst, off, delta, post: false}` then
+    /// `EdgeJump` (the classic loop latch).
+    IncDecLEdge {
+        off: u32,
+        dst: u16,
+        delta: i8,
+        edge: u32,
+        block: u32,
+        target: u32,
+        tick: u32,
+    },
+    /// `LoadLocal{dst, off}` then `CondBranch{src: dst, ..}`.
+    LoadLBranch {
+        off: u32,
+        dst: u16,
+        branch: u32,
+        else_target: u32,
+        tick: u32,
+    },
+    /// `LoadGlobal{dst, idx}` then `ArithRI{dst, imm, mode}`.
+    ArithGI {
+        dst: u16,
+        idx: u32,
+        imm: i32,
+        mode: ArithMode,
+        tick: u32,
+    },
+    /// `Const{dst, Int(imm)}` then `CmpBranchRR{a, b: dst, ..}` — the
+    /// constant write is preserved (later code may read it).
+    CmpBranchRCI {
+        a: u16,
+        dst: u16,
+        imm: i32,
+        op: BinOp,
+        branch: u32,
+        else_target: u32,
+        tick: u32,
+    },
+    /// `ArithRL{dst, off, mode}` then `JumpIfFalse{src: dst, target}`.
+    ArithRLJumpF {
+        dst: u16,
+        off: u32,
+        mode: ArithMode,
+        target: u32,
+        tick: u32,
+    },
+    /// `LoadLocal{dst, off}` then `LoadIdx{dst, base: dst, idx, elem}`
+    /// with `idx != dst` — an array load through a local pointer.
+    LoadIdxLR {
+        dst: u16,
+        off: u32,
+        idx: u16,
+        elem: u32,
+        tick: u32,
+    },
 }
 
 /// A `switch` lowered at compile time. Case values are deduplicated

@@ -9,6 +9,7 @@
 //! | `update`   | `program`, `source`                           | same as `load` (alias; the DB upserts either way) |
 //! | `estimate` | `program`, `estimator?`, `inter?`, `function?`| per-function block frequencies + invocation estimates |
 //! | `profile`  | `program`, `input?`                           | per-function call counts and costs from a (cached) VM run |
+//! | `reuse`    | `program`                                     | predicted per-object reuse-distance histograms |
 //! | `score`    | `program`                                     | paper score tables composed from materialized estimates |
 //! | `list`     | —                                             | loaded program names |
 //! | `shutdown` | —                                             | `{"ok":true}`; the server drains and exits |
@@ -65,6 +66,7 @@ impl Session {
             "load" | "update" => self.upsert(&req),
             "estimate" => self.estimate(&req),
             "profile" => self.profile(&req),
+            "reuse" => self.reuse(&req),
             "score" => self.score(&req),
             "list" => self.list(&req),
             "shutdown" => {
@@ -212,6 +214,34 @@ impl Session {
             ("program", Value::Str(program.to_string())),
             ("total_blocks", num_u64(profile.total_block_count())),
             ("total_branches", num_u64(profile.total_branches())),
+        ]))
+    }
+
+    fn reuse(&self, req: &Request) -> MethodResult {
+        let program = req
+            .param_str("program")
+            .ok_or_else(|| ErrorShape::missing("program"))?;
+        let entry = self.db.entry(program)?;
+        let est = reuse::estimate(&entry.program);
+        let objects: Vec<Value> = est
+            .names
+            .iter()
+            .zip(&est.hists)
+            .map(|(name, hist)| {
+                let bins: Vec<Value> = hist.iter().map(|&v| Value::Num(v)).collect();
+                obj(vec![
+                    ("hist", Value::Arr(bins)),
+                    ("name", Value::Str(name.clone())),
+                    ("total", Value::Num(hist.iter().sum())),
+                ])
+            })
+            .collect();
+        Ok(obj(vec![
+            ("bins", num_u64(reuse::BINS as u64)),
+            ("objects", Value::Arr(objects)),
+            ("program", Value::Str(program.to_string())),
+            ("revision", num_u64(entry.revision)),
+            ("total", Value::Num(est.total())),
         ]))
     }
 

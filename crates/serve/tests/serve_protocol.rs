@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 const SRC: &str = "int add(int a, int b) { return a + b; } int main(void) { int i, s = 0; for (i = 0; i < 6; i++) s = add(s, i); return s; }";
 const SRC2: &str = "int add(int a, int b) { return a + b + 1; } int main(void) { int i, s = 0; for (i = 0; i < 6; i++) s = add(s, i); return s; }";
+const SRC_REUSE: &str = "int g[8]; int main(void) { int i, j, s = 0; for (j = 0; j < 4; j++) for (i = 0; i < 8; i++) s += g[i]; return s; }";
 
 /// The canonical transcript request list. Each entry exercises either
 /// one method's happy path or one error shape.
@@ -28,6 +29,11 @@ fn requests() -> Vec<String> {
     let load = |id: u64, method: &str, src: &str| {
         format!(
             r#"{{"sfe":"serve/v1","id":{id},"method":"{method}","params":{{"program":"demo","source":"{src}"}}}}"#
+        )
+    };
+    let load_as = |id: u64, program: &str, src: &str| {
+        format!(
+            r#"{{"sfe":"serve/v1","id":{id},"method":"load","params":{{"program":"{program}","source":"{src}"}}}}"#
         )
     };
     vec![
@@ -55,6 +61,12 @@ fn requests() -> Vec<String> {
         r#"{"sfe":"serve/v1","id":29,"method":"load","params":{"program":"demo"}}"#.into(),
         r#"{"sfe":"serve/v1","id":30,"method":"load","params":{"program":"bad","source":"int main(void) { return x; }"}}"#.into(),
         r#"{"sfe":"serve/v1","id":31,"method":"profile","params":{"program":"ghost"}}"#.into(),
+        // Reuse estimates (an array with an actual reuse loop, so the
+        // histograms are non-trivial) plus the method's error shapes.
+        load_as(33, "arr", SRC_REUSE),
+        r#"{"sfe":"serve/v1","id":34,"method":"reuse","params":{"program":"arr"}}"#.into(),
+        r#"{"sfe":"serve/v1","id":35,"method":"reuse"}"#.into(),
+        r#"{"sfe":"serve/v1","id":36,"method":"reuse","params":{"program":"ghost"}}"#.into(),
         // Shutdown last: it ends the session.
         r#"{"sfe":"serve/v1","id":32,"method":"shutdown"}"#.into(),
     ]
@@ -122,7 +134,7 @@ fn golden_covers_every_method_and_error_code() {
         std::fs::read_to_string(golden_path()).expect("golden present")
     };
     for method in [
-        "load", "update", "estimate", "profile", "score", "list", "shutdown",
+        "load", "update", "estimate", "profile", "reuse", "score", "list", "shutdown",
     ] {
         assert!(
             text.contains(&format!("\"method\":\"{method}\"")),
